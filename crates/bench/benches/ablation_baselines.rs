@@ -1,0 +1,102 @@
+//! Ablation A3: the paper's schemes against the two baselines it argues
+//! against — repeated unicast from the source (stock Myrinet) and the
+//! centralized credit manager of [VLB96].
+//!
+//! Expected outcome: at light load everything delivers, but (a) repeated
+//! unicast ties up the source for the whole multicast, so its latency
+//! grows with group size and it loads the network with one full-length
+//! path per member; (b) the credit scheme pays a request/grant round trip
+//! before the first byte moves and stalls when the manager runs out of
+//! credits between token passes.
+//!
+//! Run with `cargo bench --bench ablation_baselines`.
+
+use wormcast_bench::fig10::figure_tree_scheme;
+use wormcast_bench::runner::{run_parallel, SimSetup};
+use wormcast_bench::Scheme;
+use wormcast_core::{HcConfig, UnicastRepeatConfig};
+use wormcast_sim::engine::HostId;
+use wormcast_topo::torus::torus;
+use wormcast_topo::tree::TreeShape;
+use wormcast_traffic::rng::host_stream;
+use wormcast_traffic::workload::PaperWorkload;
+use wormcast_traffic::{GroupSet, LengthDist};
+
+fn main() {
+    let quick = std::env::var_os("WORMCAST_QUICK").is_some();
+    let (measure, drain) = if quick {
+        (150_000, 100_000)
+    } else {
+        (500_000, 200_000)
+    };
+    let loads = [0.02, 0.04, 0.06];
+    let schemes: Vec<(&str, Scheme)> = vec![
+        ("hc-store-fwd", Scheme::Hc(HcConfig::store_and_forward())),
+        ("hc-cut-through", Scheme::Hc(HcConfig::cut_through())),
+        ("tree", figure_tree_scheme()),
+        (
+            "repeat-unicast",
+            Scheme::Repeat(UnicastRepeatConfig::default()),
+        ),
+        (
+            "bcast-filter",
+            Scheme::Repeat(UnicastRepeatConfig {
+                broadcast_filter: true,
+                num_hosts: 0, // filled by install
+            }),
+        ),
+        (
+            "credit",
+            Scheme::Credit {
+                manager: HostId(0),
+                initial_credits: 120_000,
+                token_period: 30_000,
+                shape: TreeShape::BinaryHeap,
+            },
+        ),
+    ];
+    println!(
+        "# Ablation A3: multicast latency (byte times) by scheme vs baselines, 8x8 torus"
+    );
+    println!(
+        "{:>8} {:>16} {:>14} {:>14} {:>12} {:>10}",
+        "load", "scheme", "mcast-latency", "uni-latency", "ratio", "tx-util"
+    );
+    for &load in &loads {
+        let setups: Vec<SimSetup> = schemes
+            .iter()
+            .map(|(_, scheme)| {
+                let mut grng = host_stream(0xAB3, 0x6071);
+                let groups = GroupSet::random(64, 10, 10, &mut grng);
+                SimSetup {
+                    topo: torus(8, 1),
+                    updown_root: 0,
+                    restrict_to_tree: false,
+                    groups,
+                    scheme: *scheme,
+                    workload: PaperWorkload {
+                        offered_load: load,
+                        multicast_prob: 0.10,
+                        lengths: LengthDist::Geometric { mean: 400 },
+                        stop_at: None,
+                    },
+                    seed: 0xAB3,
+                    warmup: 0,
+                    generate_until: 0,
+                    drain_until: 0,
+                }
+                .windows(60_000, measure, drain)
+            })
+            .collect();
+        let results = run_parallel(setups);
+        for ((name, _), r) in schemes.iter().zip(&results) {
+            println!(
+                "{load:>8.3} {name:>16} {:>14.0} {:>14.0} {:>12.3} {:>10.4}",
+                r.multicast.per_delivery.mean,
+                r.unicast.per_delivery.mean,
+                r.delivery_ratio,
+                r.host_tx_utilization
+            );
+        }
+    }
+}

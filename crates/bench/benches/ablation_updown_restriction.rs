@@ -1,0 +1,73 @@
+//! Ablation A2: the bandwidth cost of restricting routing to the up/down
+//! spanning tree (the Section 3 switch-level multicast scheme 1 requires
+//! ALL worms — unicast too — to stay on tree links).
+//!
+//! Expected outcome: tree-restricted paths are longer on average (the
+//! crosslinks go unused), latency grows, and the network saturates at a
+//! much lower offered load — the paper's stated reason the restriction
+//! "may be acceptable [only] if the topology is almost a tree to start
+//! with ... or if the traffic is predominantly multicast".
+//!
+//! Run with `cargo bench --bench ablation_updown_restriction`.
+
+use wormcast_bench::runner::{run_parallel, SimSetup};
+use wormcast_bench::Scheme;
+use wormcast_core::HcConfig;
+use wormcast_topo::torus::torus;
+use wormcast_topo::UpDown;
+use wormcast_traffic::rng::host_stream;
+use wormcast_traffic::workload::PaperWorkload;
+use wormcast_traffic::{GroupSet, LengthDist};
+
+fn main() {
+    let quick = std::env::var_os("WORMCAST_QUICK").is_some();
+    let (measure, drain) = if quick {
+        (150_000, 100_000)
+    } else {
+        (400_000, 200_000)
+    };
+    let topo = torus(8, 1);
+    let ud = UpDown::compute(&topo, 0);
+    println!("# Ablation A2: up/down tree-restricted vs full up/down routing");
+    println!(
+        "# mean switch hops: unrestricted {:.2}, tree-restricted {:.2}",
+        ud.mean_hops(&topo, false),
+        ud.mean_hops(&topo, true)
+    );
+    println!(
+        "{:>8} {:>14} {:>14} {:>10}",
+        "load", "routing", "uni-latency", "ratio"
+    );
+    for load in [0.01, 0.02, 0.04] {
+        let mk = |restrict: bool| {
+            let mut grng = host_stream(0xAB2, 0x6071);
+            let groups = GroupSet::random(64, 10, 10, &mut grng);
+            SimSetup {
+                topo: torus(8, 1),
+                updown_root: 0,
+                restrict_to_tree: restrict,
+                groups,
+                scheme: Scheme::Hc(HcConfig::store_and_forward()),
+                workload: PaperWorkload {
+                    offered_load: load,
+                    multicast_prob: 0.0, // unicast bandwidth cost
+                    lengths: LengthDist::Geometric { mean: 400 },
+                    stop_at: None,
+                },
+                seed: 0xAB2,
+                warmup: 0,
+                generate_until: 0,
+                drain_until: 0,
+            }
+            .windows(60_000, measure, drain)
+        };
+        let results = run_parallel(vec![mk(false), mk(true)]);
+        for (name, r) in ["unrestricted", "tree-only"].iter().zip(&results) {
+            println!(
+                "{load:>8.3} {name:>14} {:>14.0} {:>10.3}",
+                r.unicast.per_delivery.mean,
+                r.unicast.deliveries as f64 / r.unicast.messages.max(1) as f64
+            );
+        }
+    }
+}

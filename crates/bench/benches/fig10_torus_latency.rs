@@ -1,0 +1,44 @@
+//! Figure 10 reproduction: average multicast latency vs offered load on the
+//! 8×8 torus, for Hamiltonian store-and-forward, Hamiltonian cut-through,
+//! and the rooted tree.
+//!
+//! Run with `cargo bench --bench fig10_torus_latency`. Set
+//! `WORMCAST_QUICK=1` for a reduced sweep with the same shape.
+
+use wormcast_bench::fig10::{run_figure, Fig10Config};
+use wormcast_stats::series::format_table;
+
+fn main() {
+    let quick = std::env::var_os("WORMCAST_QUICK").is_some();
+    let cfg = if quick {
+        Fig10Config::quick()
+    } else {
+        Fig10Config::full()
+    };
+    eprintln!("fig10: torus 8x8, 10 groups x 10 members, p(mcast)=0.10, {cfg:?}");
+    let results = run_figure(&cfg);
+    let series: Vec<_> = results.iter().map(|(s, _)| s.clone()).collect();
+    println!(
+        "{}",
+        format_table(
+            "Figure 10: average multicast latency vs offered load (8x8 torus)",
+            "load",
+            "latency, byte times",
+            &series,
+        )
+    );
+    // Delivery ratios expose the saturation points.
+    println!("# delivery ratio (expected deliveries completed by the drain deadline)");
+    print!("{:>12}", "load");
+    for (s, _) in &results {
+        print!(" {:>28}", s.label);
+    }
+    println!();
+    for (i, &load) in cfg.loads.iter().enumerate() {
+        print!("{load:>12.4}");
+        for (_, rs) in &results {
+            print!(" {:>28.3}", rs[i].delivery_ratio);
+        }
+        println!();
+    }
+}

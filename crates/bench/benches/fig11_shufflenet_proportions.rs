@@ -1,0 +1,31 @@
+//! Figure 11 reproduction: average delay vs offered load for multicast
+//! proportions {0.05, 0.10, 0.15, 0.20} on the 24-node bidirectional
+//! shufflenet with 1000-byte-time links; tree vs Hamiltonian circuit.
+//!
+//! Run with `cargo bench --bench fig11_shufflenet_proportions`. Set
+//! `WORMCAST_QUICK=1` for a reduced sweep.
+
+use wormcast_bench::fig11::{run_figure, Fig11Config};
+use wormcast_stats::series::format_table;
+
+fn main() {
+    let quick = std::env::var_os("WORMCAST_QUICK").is_some();
+    let cfg = if quick {
+        Fig11Config::quick()
+    } else {
+        Fig11Config::full()
+    };
+    eprintln!("fig11: shufflenet-24, 4 groups x 6 members, 1000-bt links, {cfg:?}");
+    let results = run_figure(&cfg);
+    let series: Vec<_> = results.iter().map(|(s, _)| s.clone()).collect();
+    println!(
+        "{}",
+        format_table(
+            "Figure 11: average delay for varying multicast proportions \
+             (24-node bidirectional shufflenet)",
+            "load",
+            "delay, byte times",
+            &series,
+        )
+    );
+}

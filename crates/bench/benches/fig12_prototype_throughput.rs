@@ -1,0 +1,42 @@
+//! Figure 12 reproduction: measured per-host throughput vs packet size for
+//! a Hamiltonian circuit of eight hosts on the four-switch Myrinet
+//! prototype model — single transmitting host vs all hosts transmitting.
+//!
+//! Run with `cargo bench --bench fig12_prototype_throughput`.
+
+use wormcast_myrinet::experiment::{packet_sizes, run_prototype, PrototypeConfig};
+use wormcast_stats::Series;
+
+fn main() {
+    let quick = std::env::var_os("WORMCAST_QUICK").is_some();
+    let mut single = Series::new("Single sender");
+    let mut all = Series::new("All send/receive");
+    for size in packet_sizes() {
+        for all_senders in [false, true] {
+            let mut cfg = PrototypeConfig::new(size, all_senders);
+            if quick {
+                cfg.duration = 1_200_000;
+            }
+            let r = run_prototype(&cfg);
+            let s = if all_senders { &mut all } else { &mut single };
+            s.push(size as f64, r.throughput_mbps, 0.0);
+            eprintln!(
+                "size {size:>5} all={all_senders}: {:>7.1} Mb/s per host, loss {:.1}% \
+                 ({} delivered, {} dropped)",
+                r.throughput_mbps,
+                r.loss * 100.0,
+                r.packets_delivered,
+                r.packets_dropped
+            );
+        }
+    }
+    println!(
+        "{}",
+        wormcast_stats::series::format_table(
+            "Figure 12: measured throughput (per host), Hamiltonian circuit of 8 hosts",
+            "packet bytes",
+            "throughput, Mbit/s",
+            &[single, all],
+        )
+    );
+}

@@ -1,0 +1,45 @@
+//! Figure 13 reproduction: per-host reception loss vs packet size in the
+//! all-senders case on the prototype model. (The single-sender case is
+//! printed too: the paper observed — and the model reproduces — zero loss
+//! there, because adapters forward faster than hosts originate.)
+//!
+//! Run with `cargo bench --bench fig13_prototype_loss`.
+
+use wormcast_myrinet::experiment::{packet_sizes, run_prototype, PrototypeConfig};
+use wormcast_stats::Series;
+
+fn main() {
+    let quick = std::env::var_os("WORMCAST_QUICK").is_some();
+    let mut all = Series::new("All send/receive");
+    let mut single = Series::new("Single sender");
+    for size in packet_sizes() {
+        for all_senders in [true, false] {
+            let mut cfg = PrototypeConfig::new(size, all_senders);
+            if quick {
+                cfg.duration = 1_200_000;
+            }
+            let r = run_prototype(&cfg);
+            let s = if all_senders { &mut all } else { &mut single };
+            s.push(size as f64, r.loss * 100.0, 0.0);
+            if all_senders {
+                eprintln!(
+                    "size {size:>5}: loss per host {:.1}% (per-host spread {:?})",
+                    r.loss * 100.0,
+                    r.loss_per_host
+                        .iter()
+                        .map(|l| (l * 100.0).round())
+                        .collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+    println!(
+        "{}",
+        wormcast_stats::series::format_table(
+            "Figure 13: packet loss rate per host (input-buffer drops)",
+            "packet bytes",
+            "reception loss, percent",
+            &[all, single],
+        )
+    );
+}

@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks of the simulation substrates themselves:
+//! event-queue throughput, route computation, and end-to-end simulated
+//! bytes per wall-clock second.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::Arc;
+use wormcast_core::{HcConfig, HcProtocol};
+use wormcast_sim::engine::HostId;
+use wormcast_sim::network::NetworkConfig;
+use wormcast_sim::wheel::TimingWheel;
+use wormcast_sim::Network;
+use wormcast_topo::torus::torus;
+use wormcast_topo::UpDown;
+use wormcast_traffic::rng::host_stream;
+use wormcast_traffic::workload::{install_paper_sources, PaperWorkload};
+use wormcast_traffic::{GroupSet, LengthDist};
+
+fn bench_wheel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wheel");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("push_pop_near_future", |b| {
+        b.iter(|| {
+            let mut w: TimingWheel<u32> = TimingWheel::new();
+            let mut t = 0u64;
+            for i in 0..10_000u32 {
+                w.push(t + 1 + (i as u64 % 7), i);
+                if i % 2 == 1 {
+                    let (nt, _) = w.pop().expect("non-empty");
+                    t = nt;
+                }
+            }
+            while w.pop().is_some() {}
+        })
+    });
+    g.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let topo = torus(8, 1);
+    let ud = UpDown::compute(&topo, 0);
+    c.bench_function("updown_route_table_torus8", |b| {
+        b.iter(|| ud.route_table(&topo, false))
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(10);
+    // 50k byte-times of an 8x8 torus at moderate load.
+    let horizon = 50_000u64;
+    g.throughput(Throughput::Elements(horizon));
+    g.bench_function("torus8_hc_load0.05_50k_byte_times", |b| {
+        b.iter(|| {
+            let topo = torus(8, 1);
+            let ud = UpDown::compute(&topo, 0);
+            let routes = ud.route_table(&topo, false);
+            let mut net =
+                Network::build(&topo.to_fabric_spec(), routes, NetworkConfig::default());
+            let mut grng = host_stream(1, 1);
+            let groups = GroupSet::random(64, 10, 10, &mut grng);
+            let membership = wormcast_bench::runner::membership_of(&groups);
+            for h in 0..64u32 {
+                net.set_protocol(
+                    HostId(h),
+                    Box::new(HcProtocol::new(
+                        HostId(h),
+                        HcConfig::store_and_forward(),
+                        Arc::clone(&membership),
+                    )),
+                );
+            }
+            install_paper_sources(
+                &mut net,
+                PaperWorkload {
+                    offered_load: 0.05,
+                    multicast_prob: 0.10,
+                    lengths: LengthDist::Geometric { mean: 400 },
+                    stop_at: None,
+                },
+                &Arc::new(groups),
+                1,
+            );
+            net.run_until(horizon)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_wheel, bench_routing, bench_simulation);
+criterion_main!(benches);

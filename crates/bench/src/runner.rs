@@ -1,0 +1,145 @@
+//! Generic simulation assembly and execution for the experiments.
+
+use crate::schemes::Scheme;
+use std::sync::Arc;
+use wormcast_core::Membership;
+use wormcast_sim::network::{NetStats, NetworkConfig};
+use wormcast_sim::time::SimTime;
+use wormcast_sim::Network;
+use wormcast_stats::latency::{latencies, Kind, LatencyReport};
+use wormcast_topo::hostgraph::HostGraph;
+use wormcast_topo::{Topology, UpDown};
+use wormcast_traffic::workload::{install_paper_sources, PaperWorkload};
+use wormcast_traffic::GroupSet;
+
+/// One experiment point: topology + groups + scheme + workload + windows.
+pub struct SimSetup {
+    pub topo: Topology,
+    pub updown_root: usize,
+    /// Restrict all routes to the spanning tree (Section 3 ablation).
+    pub restrict_to_tree: bool,
+    pub groups: GroupSet,
+    pub scheme: Scheme,
+    pub workload: PaperWorkload,
+    pub seed: u64,
+    /// Messages created before this time are excluded from statistics.
+    pub warmup: SimTime,
+    /// Message generation stops here (also the statistics window end).
+    pub generate_until: SimTime,
+    /// The simulation then drains until this deadline.
+    pub drain_until: SimTime,
+}
+
+impl SimSetup {
+    /// Standard measurement windows around a target duration.
+    pub fn windows(mut self, warmup: SimTime, measure: SimTime, drain: SimTime) -> Self {
+        self.warmup = warmup;
+        self.generate_until = warmup + measure;
+        self.drain_until = warmup + measure + drain;
+        self
+    }
+}
+
+/// Everything an experiment wants to know after a run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    pub multicast: LatencyReport,
+    pub unicast: LatencyReport,
+    /// Measured mean output-link utilization per host (sanity check against
+    /// the configured offered load; higher, because multicast copies are
+    /// retransmitted several times — the paper notes ~46% of transmitted
+    /// worms were multicast at a 10% generation probability).
+    pub host_tx_utilization: f64,
+    pub stats: NetStats,
+    /// Fraction of expected multicast deliveries that completed by the end
+    /// of the drain window (1.0 below saturation).
+    pub delivery_ratio: f64,
+}
+
+/// Build the network for a setup (shared with tests and examples).
+pub fn build_network(setup: &SimSetup) -> Network {
+    let ud = UpDown::compute(&setup.topo, setup.updown_root);
+    let routes = ud.route_table(&setup.topo, setup.restrict_to_tree);
+    let graph = HostGraph::from_routes(&routes);
+    let cfg = NetworkConfig {
+        seed: setup.seed,
+        ..NetworkConfig::default()
+    };
+    let mut net = Network::build(&setup.topo.to_fabric_spec(), routes, cfg);
+    let membership = membership_of(&setup.groups);
+    setup.scheme.install(&mut net, &membership, &graph);
+    let mut workload = setup.workload;
+    workload.stop_at = Some(setup.generate_until);
+    install_paper_sources(&mut net, workload, &Arc::new(setup.groups.clone()), setup.seed);
+    net
+}
+
+/// Convert a traffic-crate group set into the protocols' membership table.
+pub fn membership_of(groups: &GroupSet) -> Arc<Membership> {
+    Membership::from_groups(
+        (0..groups.num_groups() as u8).map(|g| (g, groups.members(g).to_vec())),
+    )
+}
+
+/// Run one experiment point to completion and extract statistics.
+pub fn run(setup: &SimSetup) -> RunResult {
+    let mut net = build_network(setup);
+    let out = net.run_until(setup.drain_until);
+    debug_assert!(out.deadlock.is_none(), "unexpected deadlock: {out:?}");
+    net.audit().expect("conservation invariant");
+    let membership = membership_of(&setup.groups);
+    let expected = |dest: &wormcast_sim::protocol::Destination| match *dest {
+        wormcast_sim::protocol::Destination::Multicast(g) => membership.members(g).len(),
+        wormcast_sim::protocol::Destination::Unicast(_) => 1,
+    };
+    let multicast = latencies(
+        &net.msgs,
+        Kind::Multicast,
+        setup.warmup,
+        setup.generate_until,
+        None,
+    );
+    let unicast = latencies(
+        &net.msgs,
+        Kind::Unicast,
+        setup.warmup,
+        setup.generate_until,
+        None,
+    );
+    // Delivery ratio: observed deliveries / expected deliveries for
+    // multicast messages in the window (expected = members - origin-member).
+    let mut expected_total = 0usize;
+    for rec in &net.msgs.created {
+        if rec.created < setup.warmup || rec.created >= setup.generate_until {
+            continue;
+        }
+        if let wormcast_sim::protocol::Destination::Multicast(g) = rec.dest {
+            let _ = expected(&rec.dest);
+            expected_total += membership.expected_deliveries(g, rec.origin);
+        }
+    }
+    let delivery_ratio = if expected_total == 0 {
+        1.0
+    } else {
+        multicast.deliveries as f64 / expected_total as f64
+    };
+    let elapsed = setup.drain_until;
+    RunResult {
+        multicast,
+        unicast,
+        host_tx_utilization: net.mean_host_tx_utilization(elapsed),
+        stats: net.stats.clone(),
+        delivery_ratio,
+    }
+}
+
+/// Run several setups concurrently (one OS thread each), preserving order.
+pub fn run_parallel(setups: Vec<SimSetup>) -> Vec<RunResult> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = setups
+            .iter()
+            .map(|s| scope.spawn(move || run(s)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+    })
+}

@@ -1,0 +1,128 @@
+//! Calibration probes (all `#[ignore]`d): quick sweeps used while matching
+//! the paper's curves. They print rather than assert — run with
+//!
+//!     cargo test --release -p wormcast-bench --test calibration -- --ignored --nocapture
+//!
+//! Kept in-tree because recalibration is the first thing a future change to
+//! the fabric model will need.
+
+use wormcast_bench::runner::{build_network, membership_of};
+use wormcast_bench::{Scheme, SimSetup};
+use wormcast_core::{HcConfig, Reliability, TreeConfig, TreeMode};
+use wormcast_sim::protocol::{Destination, SourceMessage};
+use wormcast_topo::torus::torus;
+use wormcast_topo::tree::TreeShape;
+use wormcast_traffic::rng::host_stream;
+use wormcast_traffic::workload::PaperWorkload;
+use wormcast_traffic::{GroupSet, LengthDist};
+
+fn base_setup(load: f64, mcast: f64) -> (SimSetup, GroupSet) {
+    let mut grng = host_stream(7, 0x6071);
+    let groups = GroupSet::random(64, 10, 10, &mut grng);
+    let s = SimSetup {
+        topo: torus(8, 1),
+        updown_root: 0,
+        restrict_to_tree: false,
+        groups: groups.clone(),
+        scheme: Scheme::Tree(TreeConfig::store_and_forward(), TreeShape::BinaryHeap),
+        workload: PaperWorkload {
+            offered_load: load,
+            multicast_prob: mcast,
+            lengths: LengthDist::Geometric { mean: 400 },
+            stop_at: None,
+        },
+        seed: 7,
+        warmup: 0,
+        generate_until: 0,
+        drain_until: 0,
+    };
+    (s, groups)
+}
+
+/// One multicast on an otherwise idle torus: per-member delivery times for
+/// eyeballing the store-and-forward pipeline.
+#[test]
+#[ignore]
+fn single_multicast_latency() {
+    let (mut setup, groups) = base_setup(0.04, 0.1);
+    setup.workload.stop_at = Some(0);
+    setup.generate_until = 0;
+    let mut net = build_network(&setup);
+    let g0 = groups.members(0).to_vec();
+    let origin = g0[3];
+    wormcast_traffic::script::install_one_shot(&mut net, origin, 1000, SourceMessage {
+        dest: Destination::Multicast(0),
+        payload_len: 400,
+    });
+    let out = net.run_until(10_000_000);
+    eprintln!("drained={} deliveries={}", out.drained, net.msgs.deliveries.len());
+    let m = membership_of(&groups);
+    eprintln!("group0 = {:?} origin={origin:?}", m.members(0));
+    let mut ds = net.msgs.deliveries.clone();
+    ds.sort_by_key(|d| d.at);
+    for d in &ds {
+        eprintln!("  host {:?} at {} (lat {})", d.host, d.at, d.at - 1000);
+    }
+}
+
+/// Unicast-vs-multicast saturation sweep (where does the fabric fold?).
+#[test]
+#[ignore]
+fn load_sweep() {
+    for (load, mcast) in [(0.02, 0.0), (0.04, 0.0), (0.08, 0.0), (0.02, 0.1), (0.04, 0.1)] {
+        let (setup, _) = base_setup(load, mcast);
+        let setup = setup.windows(30_000, 150_000, 100_000);
+        let r = wormcast_bench::runner::run(&setup);
+        eprintln!(
+            "load {load} p={mcast}: mcast mean {:.0} (n={}), unicast mean {:.0} (n={}), \
+             tx_util {:.4}, ratio {:.3}",
+            r.multicast.per_delivery.mean,
+            r.multicast.deliveries,
+            r.unicast.per_delivery.mean,
+            r.unicast.deliveries,
+            r.host_tx_utilization,
+            r.delivery_ratio
+        );
+    }
+}
+
+/// Scheme-by-scheme comparison at the Figure 10 loads (the sweep that
+/// selected the figure's tree configuration; see DESIGN.md §2).
+#[test]
+#[ignore]
+fn scheme_compare() {
+    for load in [0.04, 0.06, 0.08, 0.10, 0.12] {
+        for (name, scheme) in [
+            ("hc-snf ", Scheme::Hc(HcConfig::store_and_forward())),
+            ("hc-ct  ", Scheme::Hc(HcConfig::cut_through())),
+            (
+                "tree-r ",
+                Scheme::Tree(TreeConfig::store_and_forward(), TreeShape::GreedyHop),
+            ),
+            (
+                "tree-bg",
+                Scheme::Tree(
+                    TreeConfig {
+                        mode: TreeMode::BroadcastFromOrigin,
+                        cut_through_first: false,
+                        reliability: Reliability::None,
+                    },
+                    TreeShape::GreedyHop,
+                ),
+            ),
+        ] {
+            let (mut setup, _) = base_setup(load, 0.1);
+            setup.scheme = scheme;
+            let setup = setup.windows(50_000, 250_000, 150_000);
+            let r = wormcast_bench::runner::run(&setup);
+            eprintln!(
+                "{name} load {load:.2}: mcast {:.0} (n={}) uni {:.0} util {:.3} ratio {:.3}",
+                r.multicast.per_delivery.mean,
+                r.multicast.deliveries,
+                r.unicast.per_delivery.mean,
+                r.host_tx_utilization,
+                r.delivery_ratio
+            );
+        }
+    }
+}

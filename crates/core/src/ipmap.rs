@@ -1,0 +1,199 @@
+//! Interoperation with multicast IP (Section 8.1).
+//!
+//! IP multicast uses class D addresses (top nibble `1110`, a 28-bit group
+//! space). Myrinet multicast groups are 8-bit, with group 255 reserved for
+//! broadcast. The paper's driver takes the **low eight bits** of the class
+//! D address as the Myrinet group. Several IP groups can collide in their
+//! low byte — that is fine, because the receiving IP layer filters — but
+//! the Myrinet group must then be the **union** of all colliding IP
+//! groups' memberships. That union maintenance and the receiver-side
+//! filter live here.
+
+use crate::group::BROADCAST_GROUP;
+use std::collections::BTreeMap;
+use wormcast_sim::engine::HostId;
+
+/// A class D IPv4 address (stored as the full 32-bit address).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ClassD(pub u32);
+
+impl std::fmt::Display for ClassD {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let b = self.0.to_be_bytes();
+        write!(f, "{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+    }
+}
+
+impl ClassD {
+    /// Build from dotted-quad parts; panics unless it is class D
+    /// (224.0.0.0 – 239.255.255.255).
+    pub fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        let addr = u32::from_be_bytes([a, b, c, d]);
+        assert!(
+            (addr >> 28) == 0b1110,
+            "{a}.{b}.{c}.{d} is not a class D address"
+        );
+        ClassD(addr)
+    }
+
+    /// The Myrinet group this address maps to: its low eight bits.
+    pub fn myrinet_group(self) -> u8 {
+        (self.0 & 0xFF) as u8
+    }
+}
+
+/// The driver's mapping state: IP group memberships and the derived
+/// Myrinet union groups.
+#[derive(Clone, Debug, Default)]
+pub struct IpMulticastMap {
+    ip_members: BTreeMap<ClassD, Vec<HostId>>,
+}
+
+impl IpMulticastMap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A host joins an IP multicast group.
+    pub fn join(&mut self, addr: ClassD, host: HostId) {
+        assert_ne!(
+            addr.myrinet_group(),
+            BROADCAST_GROUP,
+            "low byte 255 collides with the Myrinet broadcast address"
+        );
+        let members = self.ip_members.entry(addr).or_default();
+        if let Err(ix) = members.binary_search(&host) {
+            members.insert(ix, host);
+        }
+    }
+
+    /// A host leaves an IP multicast group.
+    pub fn leave(&mut self, addr: ClassD, host: HostId) {
+        if let Some(members) = self.ip_members.get_mut(&addr) {
+            if let Ok(ix) = members.binary_search(&host) {
+                members.remove(ix);
+            }
+            if members.is_empty() {
+                self.ip_members.remove(&addr);
+            }
+        }
+    }
+
+    /// Members of one IP group.
+    pub fn ip_members(&self, addr: ClassD) -> &[HostId] {
+        self.ip_members.get(&addr).map_or(&[], |v| v.as_slice())
+    }
+
+    /// The **union** membership the Myrinet group must carry: every member
+    /// of every IP group whose address shares the low eight bits.
+    pub fn myrinet_members(&self, group: u8) -> Vec<HostId> {
+        let mut out: Vec<HostId> = self
+            .ip_members
+            .iter()
+            .filter(|(addr, _)| addr.myrinet_group() == group)
+            .flat_map(|(_, m)| m.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Receiver-side IP filter: should `host`'s IP layer keep a packet
+    /// addressed to `addr` that arrived on the (possibly wider) Myrinet
+    /// union group?
+    pub fn host_accepts(&self, addr: ClassD, host: HostId) -> bool {
+        self.ip_members(addr).binary_search(&host).is_ok()
+    }
+
+    /// All Myrinet groups currently needed, with their union memberships —
+    /// what the driver pushes to the multicast group manager.
+    pub fn required_myrinet_groups(&self) -> Vec<(u8, Vec<HostId>)> {
+        let mut groups: Vec<u8> = self
+            .ip_members
+            .keys()
+            .map(|a| a.myrinet_group())
+            .collect();
+        groups.sort_unstable();
+        groups.dedup();
+        groups
+            .into_iter()
+            .map(|g| (g, self.myrinet_members(g)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dotted_quad() {
+        assert_eq!(ClassD::new(224, 2, 127, 7).to_string(), "224.2.127.7");
+    }
+
+    #[test]
+    fn class_d_validation() {
+        let a = ClassD::new(224, 0, 0, 5);
+        assert_eq!(a.myrinet_group(), 5);
+        let b = ClassD::new(239, 255, 255, 254);
+        assert_eq!(b.myrinet_group(), 254);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a class D")]
+    fn non_class_d_rejected() {
+        let _ = ClassD::new(192, 168, 0, 1);
+    }
+
+    #[test]
+    fn low_byte_collision_unions_memberships() {
+        let mut m = IpMulticastMap::new();
+        // Two IP groups with the same low byte (7).
+        let g1 = ClassD::new(224, 1, 1, 7);
+        let g2 = ClassD::new(239, 9, 9, 7);
+        m.join(g1, HostId(0));
+        m.join(g1, HostId(1));
+        m.join(g2, HostId(2));
+        assert_eq!(
+            m.myrinet_members(7),
+            vec![HostId(0), HostId(1), HostId(2)]
+        );
+        // The IP filter still separates them.
+        assert!(m.host_accepts(g1, HostId(1)));
+        assert!(!m.host_accepts(g1, HostId(2)));
+        assert!(m.host_accepts(g2, HostId(2)));
+        assert!(!m.host_accepts(g2, HostId(0)));
+    }
+
+    #[test]
+    fn join_leave_roundtrip() {
+        let mut m = IpMulticastMap::new();
+        let g = ClassD::new(224, 0, 0, 9);
+        m.join(g, HostId(4));
+        m.join(g, HostId(4)); // idempotent
+        assert_eq!(m.ip_members(g), &[HostId(4)]);
+        m.leave(g, HostId(4));
+        assert!(m.ip_members(g).is_empty());
+        assert!(m.myrinet_members(9).is_empty());
+        m.leave(g, HostId(4)); // idempotent on empty
+    }
+
+    #[test]
+    #[should_panic(expected = "broadcast")]
+    fn group_255_reserved() {
+        let mut m = IpMulticastMap::new();
+        m.join(ClassD::new(224, 0, 0, 255), HostId(0));
+    }
+
+    #[test]
+    fn required_groups_enumerates_unions() {
+        let mut m = IpMulticastMap::new();
+        m.join(ClassD::new(224, 0, 0, 1), HostId(0));
+        m.join(ClassD::new(224, 0, 1, 1), HostId(1));
+        m.join(ClassD::new(224, 0, 0, 2), HostId(2));
+        let req = m.required_myrinet_groups();
+        assert_eq!(req.len(), 2);
+        assert_eq!(req[0], (1, vec![HostId(0), HostId(1)]));
+        assert_eq!(req[1], (2, vec![HostId(2)]));
+    }
+}

@@ -1,0 +1,33 @@
+//! Control-worm tags.
+//!
+//! Control worms are tiny priority worms (`WormKind::Control(tag)`); the tag
+//! says what they mean. Tags are partitioned per protocol family so a
+//! mis-delivered control worm is detected instead of misinterpreted.
+
+/// Positive acknowledgement of a forwarded worm (implicit reservation,
+/// Figure 5): "I had buffer space and accepted your worm."
+pub const ACK: u8 = 0;
+/// Negative acknowledgement: "no buffer space; I dropped your worm —
+/// retransmit after your timeout."
+pub const NACK: u8 = 1;
+/// Credit scheme: request a cumulative buffer credit from the manager.
+pub const CREDIT_REQ: u8 = 16;
+/// Credit scheme: the manager's grant (carries the grant sequence number).
+pub const CREDIT_GRANT: u8 = 17;
+/// Credit scheme: the credit-gathering token circulating among members.
+pub const CREDIT_TOKEN: u8 = 18;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_distinct() {
+        let all = [ACK, NACK, CREDIT_REQ, CREDIT_GRANT, CREDIT_TOKEN];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

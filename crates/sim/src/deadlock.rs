@@ -1,0 +1,272 @@
+//! Wait-for-graph construction and cycle detection.
+//!
+//! Wormhole networks deadlock when blocked worms form a circular wait
+//! (Figure 3 of the paper). This module reconstructs the wait-for graph
+//! from a live network snapshot:
+//!
+//! * an input port whose worm is **requesting** an output waits on the
+//!   input that currently owns that output;
+//! * an input port **forwarding** into a STOPped channel waits on the
+//!   downstream input whose slack buffer filled up;
+//! * an input port whose worm has a **hole** (bytes not yet arrived) waits
+//!   on the upstream producer;
+//! * a host adapter whose outgoing channel is STOPped waits on the switch
+//!   input it feeds.
+//!
+//! Host adapter *receive* sides never appear: the paper's design point is
+//! that adapters always drain the network (no backpressure from the host
+//! interface), so every wait chain that reaches a host terminates.
+//!
+//! A cycle in this graph is a genuine deadlock: no byte on the cycle can
+//! ever move again. The up/down routing restriction exists precisely to
+//! make such cycles impossible; integration tests use this module both to
+//! *demonstrate* deadlock when the rules are violated and to prove runs
+//! clean when they are followed.
+
+use crate::engine::{HostId, SwitchId};
+use crate::link::NodeRef;
+use crate::network::Network;
+use crate::switch::InState;
+use std::collections::HashMap;
+
+/// A vertex of the wait-for graph.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum WaitNode {
+    /// An input port of a switch holding (part of) a blocked worm.
+    SwitchIn(SwitchId, u8),
+    /// A host adapter's transmit side.
+    HostTx(HostId),
+}
+
+/// A detected deadlock: one representative cycle, plus how many worms were
+/// outstanding at detection time.
+#[derive(Clone, Debug)]
+pub struct DeadlockReport {
+    /// The wait cycle (empty when detection fired without a reconstructable
+    /// cycle — e.g. stuck protocol state rather than fabric state).
+    pub cycle: Vec<WaitNode>,
+    pub stuck_worms: u64,
+}
+
+/// Identify the entity currently *producing* bytes into a switch input port:
+/// the upstream output's owner input, or the upstream host.
+fn upstream_producer(net: &Network, sw: SwitchId, port: u8) -> Option<WaitNode> {
+    let ch = net.switches[sw.0 as usize].inputs[port as usize].chan_in?;
+    let src = net.channels[ch.0 as usize].src;
+    match src.node {
+        NodeRef::Host(h) => Some(WaitNode::HostTx(h)),
+        NodeRef::Switch(up) => {
+            let owner = net.switches[up.0 as usize].outputs[src.port as usize].owner?;
+            Some(WaitNode::SwitchIn(up, owner))
+        }
+    }
+}
+
+/// Build the wait-for graph of the current network state.
+pub fn wait_graph(net: &Network) -> HashMap<WaitNode, Vec<WaitNode>> {
+    let mut g: HashMap<WaitNode, Vec<WaitNode>> = HashMap::new();
+    for sw in &net.switches {
+        for (pi, inp) in sw.inputs.iter().enumerate() {
+            let me = WaitNode::SwitchIn(sw.id, pi as u8);
+            let mut edges = Vec::new();
+            match &inp.state {
+                InState::Idle | InState::Draining { .. } => {}
+                InState::Requesting { out, .. } => {
+                    if let Some(owner) = sw.outputs[*out as usize].owner {
+                        edges.push(WaitNode::SwitchIn(sw.id, owner));
+                    }
+                }
+                InState::Forwarding { out, worm } => {
+                    let blocked_downstream = sw.outputs[*out as usize]
+                        .chan_out
+                        .is_some_and(|ch| net.channels[ch.0 as usize].stopped);
+                    if blocked_downstream {
+                        if let Some(ch) = sw.outputs[*out as usize].chan_out {
+                            let dst = net.channels[ch.0 as usize].dst;
+                            if let NodeRef::Switch(down) = dst.node {
+                                edges.push(WaitNode::SwitchIn(down, dst.port));
+                            }
+                        }
+                    }
+                    // Starved (hole in the worm): wait on upstream producer.
+                    let starved = match inp.buf.front() {
+                        None => true,
+                        Some(front) => front.worm != *worm,
+                    };
+                    if starved {
+                        if let Some(up) = upstream_producer(net, sw.id, pi as u8) {
+                            edges.push(up);
+                        }
+                    }
+                }
+                InState::Replicating(rep) => {
+                    // Any stopped branch blocks the replica.
+                    for b in &rep.branches {
+                        if let Some(ch) = sw.outputs[b.out as usize].chan_out {
+                            if net.channels[ch.0 as usize].stopped {
+                                let dst = net.channels[ch.0 as usize].dst;
+                                if let NodeRef::Switch(down) = dst.node {
+                                    edges.push(WaitNode::SwitchIn(down, dst.port));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !edges.is_empty() {
+                g.insert(me, edges);
+            }
+        }
+    }
+    for a in &net.adapters {
+        if a.tx_queue.is_empty() {
+            continue;
+        }
+        if let Some(ch) = a.chan_out {
+            let c = &net.channels[ch.0 as usize];
+            if c.stopped {
+                if let NodeRef::Switch(sw) = c.dst.node {
+                    g.insert(
+                        WaitNode::HostTx(a.id),
+                        vec![WaitNode::SwitchIn(sw, c.dst.port)],
+                    );
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Find one cycle in the wait-for graph, if any.
+pub fn find_cycle(g: &HashMap<WaitNode, Vec<WaitNode>>) -> Option<Vec<WaitNode>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks: HashMap<WaitNode, Mark> = g.keys().map(|&k| (k, Mark::White)).collect();
+
+    fn dfs(
+        node: WaitNode,
+        g: &HashMap<WaitNode, Vec<WaitNode>>,
+        marks: &mut HashMap<WaitNode, Mark>,
+        stack: &mut Vec<WaitNode>,
+    ) -> Option<Vec<WaitNode>> {
+        marks.insert(node, Mark::Grey);
+        stack.push(node);
+        if let Some(succs) = g.get(&node) {
+            for &next in succs {
+                match marks.get(&next).copied().unwrap_or(Mark::Black) {
+                    Mark::Grey => {
+                        // Found a cycle: slice the stack from `next` onward.
+                        let start = stack.iter().position(|&n| n == next).expect("on stack");
+                        return Some(stack[start..].to_vec());
+                    }
+                    Mark::White => {
+                        if let Some(c) = dfs(next, g, marks, stack) {
+                            return Some(c);
+                        }
+                    }
+                    Mark::Black => {}
+                }
+            }
+        }
+        stack.pop();
+        marks.insert(node, Mark::Black);
+        None
+    }
+
+    let nodes: Vec<WaitNode> = g.keys().copied().collect();
+    for n in nodes {
+        if marks.get(&n) == Some(&Mark::White) {
+            let mut stack = Vec::new();
+            if let Some(c) = dfs(n, g, &mut marks, &mut stack) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+/// Analyze a network snapshot for a deadlock cycle.
+pub fn analyze(net: &Network) -> Option<DeadlockReport> {
+    let g = wait_graph(net);
+    find_cycle(&g).map(|cycle| DeadlockReport {
+        cycle,
+        stuck_worms: net.stats.active_worms.max(0) as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> WaitNode {
+        WaitNode::SwitchIn(SwitchId(i), 0)
+    }
+
+    #[test]
+    fn empty_graph_has_no_cycle() {
+        let g = HashMap::new();
+        assert!(find_cycle(&g).is_none());
+    }
+
+    #[test]
+    fn chain_has_no_cycle() {
+        let mut g = HashMap::new();
+        g.insert(n(0), vec![n(1)]);
+        g.insert(n(1), vec![n(2)]);
+        assert!(find_cycle(&g).is_none());
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let mut g = HashMap::new();
+        g.insert(n(0), vec![n(0)]);
+        let c = find_cycle(&g).expect("cycle");
+        assert_eq!(c, vec![n(0)]);
+    }
+
+    #[test]
+    fn two_cycle_detected() {
+        let mut g = HashMap::new();
+        g.insert(n(0), vec![n(1)]);
+        g.insert(n(1), vec![n(0)]);
+        let c = find_cycle(&g).expect("cycle");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn branch_into_cycle_detected() {
+        // 0 -> 1 -> 2 -> 3 -> 1 : cycle is {1,2,3}.
+        let mut g = HashMap::new();
+        g.insert(n(0), vec![n(1)]);
+        g.insert(n(1), vec![n(2)]);
+        g.insert(n(2), vec![n(3)]);
+        g.insert(n(3), vec![n(1)]);
+        let c = find_cycle(&g).expect("cycle");
+        assert_eq!(c.len(), 3);
+        assert!(!c.contains(&n(0)));
+    }
+
+    #[test]
+    fn diamond_without_cycle() {
+        let mut g = HashMap::new();
+        g.insert(n(0), vec![n(1), n(2)]);
+        g.insert(n(1), vec![n(3)]);
+        g.insert(n(2), vec![n(3)]);
+        assert!(find_cycle(&g).is_none());
+    }
+
+    #[test]
+    fn mixed_node_kinds_in_cycle() {
+        let h = WaitNode::HostTx(HostId(5));
+        let mut g = HashMap::new();
+        g.insert(h, vec![n(1)]);
+        g.insert(n(1), vec![h]);
+        let c = find_cycle(&g).expect("cycle");
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(&h));
+    }
+}

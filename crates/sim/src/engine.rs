@@ -1,0 +1,150 @@
+//! The discrete-event core: event type and scheduler.
+
+use crate::link::ChanId;
+use crate::time::SimTime;
+use crate::wheel::TimingWheel;
+use crate::worm::WireByte;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a host (adapter + attached host machine).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct HostId(pub u32);
+
+/// Identifier of a crossbar switch.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct SwitchId(pub u32);
+
+/// A control symbol travelling on the reverse channel of a link.
+///
+/// `Stop`/`Go` implement the backpressure protocol of the paper's Figure 1.
+/// `BackwardReset` is the Myrinet `BRES` symbol, used by the switch-level
+/// "multicast-IDLE flush" scheme to evict a blocked unicast worm.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CtrlSym {
+    Stop,
+    Go,
+    BackwardReset,
+}
+
+/// Every event the simulator processes.
+#[derive(Clone, Copy, Debug)]
+pub enum Event {
+    /// The transmit side of `ch` should try to put its next byte on the wire.
+    TxKick { ch: ChanId },
+    /// A byte arrives at the receive side of `ch`.
+    RxByte { ch: ChanId, byte: WireByte },
+    /// A control symbol arrives at the *transmit* side of `ch` (it travelled
+    /// on the reverse channel from the receiver).
+    CtrlRx { ch: ChanId, sym: CtrlSym },
+    /// A protocol timer at a host fires. `token` is protocol-defined.
+    HostTimer { host: HostId, token: u64 },
+    /// Traffic source at `host` generates its next message.
+    Inject { host: HostId },
+    /// Periodic liveness check (deadlock watchdog).
+    Watchdog,
+    /// End of the measured run.
+    Stop,
+}
+
+/// Event queue with deterministic same-time ordering.
+pub struct Scheduler {
+    wheel: TimingWheel<Event>,
+    now: SimTime,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler {
+    pub fn new() -> Self {
+        Scheduler {
+            wheel: TimingWheel::new(),
+            now: 0,
+        }
+    }
+
+    /// Current simulation time (time of the most recently popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `ev` to fire `delay` byte-times from now.
+    #[inline]
+    pub fn after(&mut self, delay: SimTime, ev: Event) {
+        self.wheel.push(self.now + delay, ev);
+    }
+
+    /// Schedule `ev` at the absolute time `at` (must not be in the past).
+    #[inline]
+    pub fn at(&mut self, at: SimTime, ev: Event) {
+        self.wheel.push(at.max(self.now), ev);
+    }
+
+    /// Pop the next event, advancing the clock.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        let (t, ev) = self.wheel.pop()?;
+        self.now = t;
+        Some((t, ev))
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.wheel.len()
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.wheel.peek_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduler_orders_events() {
+        let mut s = Scheduler::new();
+        s.after(10, Event::Watchdog);
+        s.after(1, Event::Stop);
+        let (t1, e1) = s.pop().unwrap();
+        assert_eq!(t1, 1);
+        assert!(matches!(e1, Event::Stop));
+        assert_eq!(s.now(), 1);
+        let (t2, e2) = s.pop().unwrap();
+        assert_eq!(t2, 10);
+        assert!(matches!(e2, Event::Watchdog));
+    }
+
+    #[test]
+    fn same_time_fifo() {
+        let mut s = Scheduler::new();
+        s.after(5, Event::Inject { host: HostId(1) });
+        s.after(5, Event::Inject { host: HostId(2) });
+        match s.pop().unwrap().1 {
+            Event::Inject { host } => assert_eq!(host, HostId(1)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match s.pop().unwrap().1 {
+            Event::Inject { host } => assert_eq!(host, HostId(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absolute_scheduling_clamps_to_now() {
+        let mut s = Scheduler::new();
+        s.after(10, Event::Stop);
+        s.pop().unwrap();
+        assert_eq!(s.now(), 10);
+        // Absolute time in the past is clamped to now rather than panicking.
+        s.at(3, Event::Watchdog);
+        let (t, _) = s.pop().unwrap();
+        assert_eq!(t, 10);
+    }
+}

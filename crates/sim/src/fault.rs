@@ -1,0 +1,56 @@
+//! Fault injection.
+//!
+//! The paper assumes a physically reliable network ("network sources can
+//! normally assume that if they send out a packet ... it will eventually be
+//! received"), so all reproduction experiments run fault-free. For testing
+//! protocol *reliability machinery* (timeouts, retransmission, the
+//! return-to-origin confirmation of the Hamiltonian scheme) the simulator
+//! can corrupt a configurable fraction of worms: a corrupted worm still
+//! occupies wire and buffer resources end to end, but fails its checksum at
+//! the destination adapter and is silently discarded — exactly how a link
+//! error manifests on a real Myrinet.
+
+use crate::network::NetworkConfig;
+use serde::{Deserialize, Serialize};
+
+/// Fault-injection knobs, in the spirit of smoltcp's `--corrupt-chance`
+/// example options.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability in [0, 1] that an injected worm is corrupted in transit.
+    pub corrupt_prob: f64,
+}
+
+impl FaultConfig {
+    pub fn new(corrupt_prob: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&corrupt_prob),
+            "corrupt_prob must be a probability, got {corrupt_prob}"
+        );
+        FaultConfig { corrupt_prob }
+    }
+
+    /// Apply these faults to a network configuration.
+    pub fn apply(&self, cfg: &mut NetworkConfig) {
+        cfg.corrupt_prob = self.corrupt_prob;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn applies_to_config() {
+        let mut cfg = NetworkConfig::default();
+        assert_eq!(cfg.corrupt_prob, 0.0);
+        FaultConfig::new(0.25).apply(&mut cfg);
+        assert_eq!(cfg.corrupt_prob, 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_out_of_range() {
+        let _ = FaultConfig::new(1.5);
+    }
+}

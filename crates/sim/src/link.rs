@@ -1,0 +1,125 @@
+//! Links between nodes.
+//!
+//! A physical Myrinet link is full duplex: data bytes flow one way while
+//! control symbols (`STOP`, `GO`, ...) are interleaved on the opposite
+//! direction. The simulator models each direction as a [`Channel`] carrying
+//! data, with control symbols of the *reverse* direction delivered to the
+//! channel's transmit side (they never queue behind data — on the real wire
+//! control symbols preempt data bytes).
+//!
+//! A channel moves at most one byte per byte-time and delivers it
+//! `delay` byte-times later. Propagation delay is expressed in byte-times
+//! (the paper's shufflenet experiment uses 1000 byte-time links).
+
+use crate::engine::{HostId, SwitchId};
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Index of a directed channel in the network.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ChanId(pub u32);
+
+/// A node reference: either a crossbar switch or a host adapter.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum NodeRef {
+    Switch(SwitchId),
+    Host(HostId),
+}
+
+/// One end of a channel: a port on a node. Host adapters have a single
+/// network port (port 0).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Endpoint {
+    pub node: NodeRef,
+    pub port: u8,
+}
+
+/// Transmit-side state of a directed channel.
+#[derive(Clone, Debug)]
+pub struct Channel {
+    pub id: ChanId,
+    pub src: Endpoint,
+    pub dst: Endpoint,
+    /// Propagation delay in byte-times (≥ 1).
+    pub delay: SimTime,
+    /// The paired channel in the opposite direction.
+    pub rev: ChanId,
+    /// True while a `STOP` from downstream is in force.
+    pub stopped: bool,
+    /// True while a `TxKick` event is pending for this channel — guards
+    /// against duplicate kicks.
+    pub tx_active: bool,
+    /// Earliest time the next byte may be put on the wire.
+    pub next_tx_time: SimTime,
+    /// Bytes currently in flight on the wire (sent, not yet received).
+    pub in_flight: u32,
+    /// Total data bytes carried (for utilization statistics).
+    pub bytes_carried: u64,
+    /// Total IDLE fill bytes carried (wasted bandwidth, Section 3).
+    pub idles_carried: u64,
+}
+
+impl Channel {
+    pub fn new(id: ChanId, src: Endpoint, dst: Endpoint, delay: SimTime, rev: ChanId) -> Self {
+        assert!(delay >= 1, "channel delay must be at least one byte-time");
+        Channel {
+            id,
+            src,
+            dst,
+            delay,
+            rev,
+            stopped: false,
+            tx_active: false,
+            next_tx_time: 0,
+            in_flight: 0,
+            bytes_carried: 0,
+            idles_carried: 0,
+        }
+    }
+
+    /// Link utilization over `elapsed` byte-times (data bytes only).
+    pub fn utilization(&self, elapsed: SimTime) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.bytes_carried as f64 / elapsed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_of_idle_link_is_zero() {
+        let ep = Endpoint {
+            node: NodeRef::Switch(SwitchId(0)),
+            port: 0,
+        };
+        let ch = Channel::new(ChanId(0), ep, ep, 1, ChanId(1));
+        assert_eq!(ch.utilization(1000), 0.0);
+        assert_eq!(ch.utilization(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one byte-time")]
+    fn zero_delay_rejected() {
+        let ep = Endpoint {
+            node: NodeRef::Host(HostId(0)),
+            port: 0,
+        };
+        let _ = Channel::new(ChanId(0), ep, ep, 0, ChanId(1));
+    }
+
+    #[test]
+    fn utilization_counts_data_bytes() {
+        let ep = Endpoint {
+            node: NodeRef::Switch(SwitchId(0)),
+            port: 0,
+        };
+        let mut ch = Channel::new(ChanId(0), ep, ep, 5, ChanId(1));
+        ch.bytes_carried = 250;
+        assert!((ch.utilization(1000) - 0.25).abs() < 1e-12);
+    }
+}

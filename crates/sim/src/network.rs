@@ -1,0 +1,892 @@
+//! The network: fabric construction, the event loop, and protocol dispatch.
+
+use crate::adapter::{Adapter, TxWorm};
+use crate::deadlock::DeadlockReport;
+use crate::engine::{CtrlSym, Event, HostId, Scheduler, SwitchId};
+use crate::link::{ChanId, Channel, Endpoint, NodeRef};
+use crate::protocol::{
+    Admission, AdapterProtocol, AppMessage, Command, Destination, ProtocolCtx, SendSpec,
+    TrafficSource,
+};
+use crate::switch::{SlackCfg, Switch};
+use crate::switchcast::SwitchcastMode;
+use crate::time::SimTime;
+use crate::trace::{Trace, TraceEvent};
+use crate::worm::{ByteKind, MessageId, WormId, WormInstance, WormMeta};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Where a host attaches to the fabric.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct HostAttach {
+    pub switch: u32,
+    pub port: u8,
+}
+
+/// A switch-to-switch link.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LinkSpec {
+    pub a: (u32, u8),
+    pub b: (u32, u8),
+    pub delay: SimTime,
+}
+
+/// A complete fabric description, produced by `wormcast-topo`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FabricSpec {
+    /// Ports per switch.
+    pub switch_ports: Vec<u8>,
+    /// Host `i` attaches at `hosts[i]`.
+    pub hosts: Vec<HostAttach>,
+    pub links: Vec<LinkSpec>,
+    /// Propagation delay of host↔switch links.
+    pub host_link_delay: SimTime,
+}
+
+/// Unicast source routes for every ordered host pair.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RouteTable {
+    table: Vec<Vec<Vec<u8>>>,
+}
+
+impl RouteTable {
+    pub fn new(num_hosts: usize) -> Self {
+        RouteTable {
+            table: vec![vec![Vec::new(); num_hosts]; num_hosts],
+        }
+    }
+
+    pub fn num_hosts(&self) -> usize {
+        self.table.len()
+    }
+
+    pub fn set(&mut self, src: HostId, dst: HostId, ports: Vec<u8>) {
+        self.table[src.0 as usize][dst.0 as usize] = ports;
+    }
+
+    /// The output-port sequence from `src`'s switch to `dst`'s host port.
+    pub fn get(&self, src: HostId, dst: HostId) -> &[u8] {
+        &self.table[src.0 as usize][dst.0 as usize]
+    }
+
+    /// Hop count (number of switches traversed) between two hosts.
+    pub fn hops(&self, src: HostId, dst: HostId) -> usize {
+        self.get(src, dst).len()
+    }
+}
+
+/// Tunables of the simulated fabric.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Slack buffer configuration; `None` derives a safe one per link delay.
+    pub slack: Option<SlackCfg>,
+    /// Logical worm header length in bytes (on-wire, after the route).
+    pub header_len: u32,
+    /// Master seed for all per-host RNG streams.
+    pub seed: u64,
+    /// Probability that an injected worm is corrupted on the wire and fails
+    /// its checksum at the destination (fault injection; 0.0 in the paper's
+    /// experiments — wormhole LAN links are assumed reliable).
+    pub corrupt_prob: f64,
+    /// Liveness watchdog period; 0 disables it. When two consecutive ticks
+    /// see no byte movement while worms are outstanding, the run is declared
+    /// deadlocked.
+    pub watchdog_interval: SimTime,
+    /// Record a [`Trace`] of interesting events.
+    pub trace: bool,
+    /// Switch-level multicast mode (Section 3 of the paper). `Off` for all
+    /// host-adapter experiments.
+    pub switchcast: SwitchcastMode,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            slack: None,
+            header_len: 8,
+            seed: 0xC0FFEE,
+            corrupt_prob: 0.0,
+            watchdog_interval: 0,
+            trace: false,
+            switchcast: SwitchcastMode::Off,
+        }
+    }
+}
+
+/// Run-wide counters. Most worms terminate at exactly one host; a
+/// switch-level multicast worm terminates at `sinks` hosts, so the
+/// conservation invariant checked by [`Network::audit`] is at **sink**
+/// granularity:
+/// `sinks_injected == worms_delivered + worms_refused + worms_corrupt + worms_flushed + active_worms`.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct NetStats {
+    pub worms_injected: u64,
+    /// Total terminal hosts across injected worms (= `worms_injected`
+    /// unless switch-level multicast is in use).
+    pub sinks_injected: u64,
+    pub worms_delivered: u64,
+    pub worms_refused: u64,
+    pub worms_corrupt: u64,
+    pub worms_flushed: u64,
+    /// Worm sinks created but not yet fully received or dropped.
+    pub active_worms: i64,
+    /// Total bytes that completed a channel hop (progress marker).
+    pub bytes_moved: u64,
+    pub messages_generated: u64,
+}
+
+/// A recorded message creation.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MessageRecord {
+    pub msg: MessageId,
+    pub origin: HostId,
+    pub dest: Destination,
+    pub payload_len: u32,
+    pub created: SimTime,
+}
+
+/// A recorded local delivery.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Delivery {
+    pub msg: MessageId,
+    pub host: HostId,
+    pub at: SimTime,
+}
+
+/// The journal experiments read after a run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MessageLog {
+    pub created: Vec<MessageRecord>,
+    pub deliveries: Vec<Delivery>,
+}
+
+/// How a call to [`Network::run_until`] ended.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    pub end_time: SimTime,
+    /// The event queue drained before the deadline (finite workload done).
+    pub drained: bool,
+    pub deadlock: Option<DeadlockReport>,
+}
+
+/// The simulated network.
+pub struct Network {
+    pub cfg: NetworkConfig,
+    pub scheduler: Scheduler,
+    pub switches: Vec<Switch>,
+    pub adapters: Vec<Adapter>,
+    pub channels: Vec<Channel>,
+    pub worms: Vec<WormInstance>,
+    pub stats: NetStats,
+    pub msgs: MessageLog,
+    pub trace: Trace,
+    pub(crate) routes: RouteTable,
+    pub(crate) corrupt_worms: HashSet<WormId>,
+    /// Outstanding sink count for multi-sink (switch-multicast) worms.
+    pub(crate) sink_remaining: std::collections::HashMap<WormId, u32>,
+    /// Worms evicted by a Backward Reset flush; their in-flight bytes are
+    /// discarded on arrival.
+    pub(crate) flushed_worms: HashSet<WormId>,
+    /// Down-tree + host ports per switch, for the broadcast address
+    /// (configured via [`Network::set_broadcast_ports`]).
+    pub(crate) broadcast_ports: Vec<Vec<u8>>,
+    protocols: Vec<Option<Box<dyn AdapterProtocol>>>,
+    sources: Vec<Option<Box<dyn TrafficSource>>>,
+    rngs: Vec<SmallRng>,
+    fault_rng: SmallRng,
+    next_msg_id: u64,
+    cmd_scratch: Vec<Command>,
+    pending_injects: i64,
+    pending_timers: i64,
+    watchdog_last_bytes: u64,
+    deadlock_seen: Option<DeadlockReport>,
+}
+
+impl Network {
+    /// Build a network from a fabric description and unicast route table.
+    pub fn build(spec: &FabricSpec, routes: RouteTable, cfg: NetworkConfig) -> Self {
+        assert_eq!(
+            routes.num_hosts(),
+            spec.hosts.len(),
+            "route table size must match host count"
+        );
+        let mut switches: Vec<Switch> = spec
+            .switch_ports
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                Switch::new(
+                    SwitchId(i as u32),
+                    p,
+                    cfg.slack.unwrap_or_else(|| SlackCfg::for_delay(1)),
+                )
+            })
+            .collect();
+        let mut adapters: Vec<Adapter> = (0..spec.hosts.len())
+            .map(|i| Adapter::new(HostId(i as u32)))
+            .collect();
+        let mut channels: Vec<Channel> = Vec::new();
+
+        let add_pair = |channels: &mut Vec<Channel>, a: Endpoint, b: Endpoint, delay| {
+            let ia = ChanId(channels.len() as u32);
+            let ib = ChanId(channels.len() as u32 + 1);
+            channels.push(Channel::new(ia, a, b, delay, ib));
+            channels.push(Channel::new(ib, b, a, delay, ia));
+            (ia, ib)
+        };
+
+        for l in &spec.links {
+            let ea = Endpoint {
+                node: NodeRef::Switch(SwitchId(l.a.0)),
+                port: l.a.1,
+            };
+            let eb = Endpoint {
+                node: NodeRef::Switch(SwitchId(l.b.0)),
+                port: l.b.1,
+            };
+            let (ab, ba) = add_pair(&mut channels, ea, eb, l.delay);
+            switches[l.a.0 as usize].outputs[l.a.1 as usize].chan_out = Some(ab);
+            switches[l.b.0 as usize].inputs[l.b.1 as usize].chan_in = Some(ab);
+            switches[l.b.0 as usize].outputs[l.b.1 as usize].chan_out = Some(ba);
+            switches[l.a.0 as usize].inputs[l.a.1 as usize].chan_in = Some(ba);
+        }
+        for (h, att) in spec.hosts.iter().enumerate() {
+            let eh = Endpoint {
+                node: NodeRef::Host(HostId(h as u32)),
+                port: 0,
+            };
+            let es = Endpoint {
+                node: NodeRef::Switch(SwitchId(att.switch)),
+                port: att.port,
+            };
+            let (hs, sh) = add_pair(&mut channels, eh, es, spec.host_link_delay);
+            adapters[h].chan_out = Some(hs);
+            switches[att.switch as usize].inputs[att.port as usize].chan_in = Some(hs);
+            switches[att.switch as usize].outputs[att.port as usize].chan_out = Some(sh);
+            adapters[h].chan_in = Some(sh);
+        }
+
+        // Size each input slack buffer for its actual upstream link delay
+        // (unless the configuration pinned one).
+        if cfg.slack.is_none() {
+            for sw in &mut switches {
+                for inp in &mut sw.inputs {
+                    if let Some(ch) = inp.chan_in {
+                        inp.slack = SlackCfg::for_delay(channels[ch.0 as usize].delay);
+                    }
+                }
+            }
+        }
+        for sw in &switches {
+            for inp in &sw.inputs {
+                inp.slack.validate().expect("slack configuration invalid");
+            }
+        }
+
+        let num_hosts = spec.hosts.len();
+        let mut seed_rng = SmallRng::seed_from_u64(cfg.seed);
+        let rngs = (0..num_hosts)
+            .map(|_| SmallRng::seed_from_u64(seed_rng.gen()))
+            .collect();
+        let fault_rng = SmallRng::seed_from_u64(seed_rng.gen());
+
+        Network {
+            cfg,
+            scheduler: Scheduler::new(),
+            switches,
+            adapters,
+            channels,
+            worms: Vec::new(),
+            stats: NetStats::default(),
+            msgs: MessageLog::default(),
+            trace: Trace::default(),
+            routes,
+            corrupt_worms: HashSet::new(),
+            sink_remaining: std::collections::HashMap::new(),
+            flushed_worms: HashSet::new(),
+            broadcast_ports: Vec::new(),
+            protocols: (0..num_hosts).map(|_| None).collect(),
+            sources: (0..num_hosts).map(|_| None).collect(),
+            rngs,
+            fault_rng,
+            next_msg_id: 0,
+            cmd_scratch: Vec::new(),
+            pending_injects: 0,
+            pending_timers: 0,
+            watchdog_last_bytes: 0,
+            deadlock_seen: None,
+        }
+    }
+
+    pub fn num_hosts(&self) -> usize {
+        self.adapters.len()
+    }
+
+    pub fn routes(&self) -> &RouteTable {
+        &self.routes
+    }
+
+    /// Configure, per switch, the output ports a broadcast worm replicates
+    /// to: the down links of the up/down tree plus every host port.
+    /// Required before injecting `Broadcast` routes.
+    pub fn set_broadcast_ports(&mut self, ports: Vec<Vec<u8>>) {
+        assert_eq!(ports.len(), self.switches.len());
+        self.broadcast_ports = ports;
+    }
+
+    /// A sink (terminal host) of `worm` resolved (delivered, refused or
+    /// corrupt). Returns true when this was the worm's last sink — the
+    /// moment the worm stops being "active".
+    pub(crate) fn resolve_sink(&mut self, worm: WormId) -> bool {
+        let sinks = self.worms[worm.0 as usize].sinks;
+        if sinks <= 1 {
+            return true;
+        }
+        let left = self
+            .sink_remaining
+            .entry(worm)
+            .or_insert(sinks);
+        *left -= 1;
+        if *left == 0 {
+            self.sink_remaining.remove(&worm);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Install the protocol instance for a host.
+    pub fn set_protocol(&mut self, host: HostId, p: Box<dyn AdapterProtocol>) {
+        self.protocols[host.0 as usize] = Some(p);
+    }
+
+    /// Post a timer to a host's protocol from outside the simulation — the
+    /// "device driver" path: a control process prodding its adapter. The
+    /// protocol receives `on_timer(token)` after `delay`.
+    pub fn post_timer(&mut self, host: HostId, delay: SimTime, token: u64) {
+        self.pending_timers += 1;
+        self.scheduler.after(delay, Event::HostTimer { host, token });
+    }
+
+    /// Install a traffic source for a host and schedule its first injection.
+    ///
+    /// A host has exactly one source; installing a second replaces the
+    /// first (its already-scheduled injections will then draw from the new
+    /// source). Use one `Script` with the full schedule instead of several
+    /// `OneShot`s.
+    pub fn set_source(&mut self, host: HostId, s: Box<dyn TrafficSource>, first_at: SimTime) {
+        debug_assert!(
+            self.sources[host.0 as usize].is_none(),
+            "replacing an existing traffic source for {host:?}; use one Script"
+        );
+        self.sources[host.0 as usize] = Some(s);
+        self.pending_injects += 1;
+        self.scheduler.at(first_at, Event::Inject { host });
+    }
+
+    /// True when nothing can happen any more without outside input: no worm
+    /// is outstanding, no injection is scheduled, and no protocol timer is
+    /// pending.
+    pub fn is_quiescent(&self) -> bool {
+        self.stats.active_worms == 0 && self.pending_injects == 0 && self.pending_timers == 0
+    }
+
+    // -- event loop ---------------------------------------------------------
+
+    /// Run until `t_end` (or until the event queue drains, or a deadlock is
+    /// detected by the watchdog / drain check).
+    pub fn run_until(&mut self, t_end: SimTime) -> RunOutcome {
+        self.scheduler.at(t_end, Event::Stop);
+        if self.cfg.watchdog_interval > 0 {
+            self.scheduler
+                .after(self.cfg.watchdog_interval, Event::Watchdog);
+            self.watchdog_last_bytes = self.stats.bytes_moved;
+        }
+        loop {
+            let Some((t, ev)) = self.scheduler.pop() else {
+                // Queue drained: with outstanding worms this is a deadlock
+                // (nothing can ever move again).
+                let deadlock = if self.stats.active_worms > 0 {
+                    Some(
+                        crate::deadlock::analyze(self).unwrap_or_else(|| DeadlockReport {
+                            cycle: Vec::new(),
+                            stuck_worms: self.stats.active_worms as u64,
+                        }),
+                    )
+                } else {
+                    None
+                };
+                return RunOutcome {
+                    end_time: self.scheduler.now(),
+                    drained: true,
+                    deadlock,
+                };
+            };
+            match ev {
+                Event::Stop => {
+                    if t >= t_end {
+                        // Worms still outstanding at the deadline: check for
+                        // a genuine wait cycle so callers can tell overload
+                        // apart from deadlock.
+                        let deadlock = self.deadlock_seen.clone().or_else(|| {
+                            if self.is_quiescent() {
+                                None
+                            } else {
+                                crate::deadlock::analyze(self)
+                            }
+                        });
+                        return RunOutcome {
+                            end_time: t,
+                            drained: self.is_quiescent(),
+                            deadlock,
+                        };
+                    }
+                }
+                Event::TxKick { ch } => self.handle_tx_kick(ch),
+                Event::RxByte { ch, byte } => self.handle_rx_byte(ch, byte),
+                Event::CtrlRx { ch, sym } => self.handle_ctrl(ch, sym),
+                Event::Inject { host } => {
+                    self.pending_injects -= 1;
+                    self.handle_inject(host);
+                }
+                Event::HostTimer { host, token } => {
+                    self.pending_timers -= 1;
+                    self.notify_timer(host, token);
+                }
+                Event::Watchdog => {
+                    if self.stats.bytes_moved == self.watchdog_last_bytes
+                        && self.stats.active_worms > 0
+                        && self.deadlock_seen.is_none()
+                    {
+                        self.deadlock_seen =
+                            Some(crate::deadlock::analyze(self).unwrap_or(DeadlockReport {
+                                cycle: Vec::new(),
+                                stuck_worms: self.stats.active_worms as u64,
+                            }));
+                    }
+                    self.watchdog_last_bytes = self.stats.bytes_moved;
+                    if !self.is_quiescent() {
+                        self.scheduler
+                            .after(self.cfg.watchdog_interval, Event::Watchdog);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The most recent deadlock report, if any watchdog tick found one.
+    pub fn deadlock_seen(&self) -> Option<&DeadlockReport> {
+        self.deadlock_seen.as_ref()
+    }
+
+    // -- channel handling ----------------------------------------------------
+
+    /// Ensure the transmit side of `ch` has a pending `TxKick`.
+    pub(crate) fn kick_channel(&mut self, ch: ChanId) {
+        let c = &mut self.channels[ch.0 as usize];
+        if c.tx_active || c.stopped {
+            return;
+        }
+        c.tx_active = true;
+        let at = c.next_tx_time.max(self.scheduler.now());
+        self.scheduler.at(at, Event::TxKick { ch });
+    }
+
+    fn handle_tx_kick(&mut self, ch: ChanId) {
+        let (src, stopped) = {
+            let c = &self.channels[ch.0 as usize];
+            (c.src, c.stopped)
+        };
+        if stopped {
+            self.channels[ch.0 as usize].tx_active = false;
+            return;
+        }
+        let byte = match src.node {
+            NodeRef::Switch(s) => self.switch_produce_byte(s, src.port),
+            NodeRef::Host(h) => self.adapter_produce_byte(h),
+        };
+        match byte {
+            Some(b) => {
+                let now = self.scheduler.now();
+                let c = &mut self.channels[ch.0 as usize];
+                c.in_flight += 1;
+                if matches!(b.kind, ByteKind::Idle) {
+                    c.idles_carried += 1;
+                } else {
+                    c.bytes_carried += 1;
+                }
+                c.next_tx_time = now + 1;
+                let delay = c.delay;
+                self.scheduler.after(delay, Event::RxByte { ch, byte: b });
+                self.scheduler.after(1, Event::TxKick { ch });
+                // tx_active stays true: the follow-up kick is pending.
+            }
+            None => {
+                self.channels[ch.0 as usize].tx_active = false;
+            }
+        }
+    }
+
+    fn handle_rx_byte(&mut self, ch: ChanId, byte: crate::worm::WireByte) {
+        let dst = {
+            let c = &mut self.channels[ch.0 as usize];
+            c.in_flight -= 1;
+            c.dst
+        };
+        self.stats.bytes_moved += 1;
+        // Bytes of a flushed (Backward Reset) worm evaporate on arrival.
+        if !self.flushed_worms.is_empty() && self.discard_if_flushed(&byte) {
+            return;
+        }
+        match dst.node {
+            NodeRef::Switch(s) => self.switch_rx_byte(s, dst.port, byte),
+            NodeRef::Host(h) => self.adapter_rx_byte(h, byte),
+        }
+    }
+
+    fn handle_ctrl(&mut self, ch: ChanId, sym: CtrlSym) {
+        match sym {
+            CtrlSym::Stop => {
+                self.channels[ch.0 as usize].stopped = true;
+                if self.cfg.trace {
+                    self.trace
+                        .push(self.scheduler.now(), TraceEvent::StopInForce { ch });
+                }
+            }
+            CtrlSym::Go => {
+                self.channels[ch.0 as usize].stopped = false;
+                if self.cfg.trace {
+                    self.trace
+                        .push(self.scheduler.now(), TraceEvent::GoReceived { ch });
+                }
+                self.kick_channel(ch);
+            }
+            CtrlSym::BackwardReset => self.switchcast_backward_reset(ch),
+        }
+    }
+
+    fn handle_inject(&mut self, host: HostId) {
+        let Some(mut src) = self.sources[host.0 as usize].take() else {
+            return;
+        };
+        let now = self.scheduler.now();
+        let (m, next) = src.next(now, host);
+        self.sources[host.0 as usize] = Some(src);
+        if let Some(delay) = next {
+            self.pending_injects += 1;
+            self.scheduler.after(delay, Event::Inject { host });
+        }
+        if let Some(sm) = m {
+            let msg = MessageId(self.next_msg_id);
+            self.next_msg_id += 1;
+            self.stats.messages_generated += 1;
+            let app = AppMessage {
+                msg,
+                origin: host,
+                dest: sm.dest,
+                payload_len: sm.payload_len,
+                created: now,
+            };
+            self.msgs.created.push(MessageRecord {
+                msg,
+                origin: host,
+                dest: sm.dest,
+                payload_len: sm.payload_len,
+                created: now,
+            });
+            self.notify_generate(host, app);
+        }
+    }
+
+    // -- protocol dispatch ---------------------------------------------------
+
+    pub(crate) fn notify_generate(&mut self, host: HostId, msg: AppMessage) {
+        let Some(mut proto) = self.protocols[host.0 as usize].take() else {
+            return;
+        };
+        let mut cmds = std::mem::take(&mut self.cmd_scratch);
+        {
+            let mut ctx = ProtocolCtx {
+                now: self.scheduler.now(),
+                host,
+                tx_backlog: self.adapters[host.0 as usize].tx_backlog(),
+                rng: &mut self.rngs[host.0 as usize],
+                commands: &mut cmds,
+            };
+            proto.on_generate(&mut ctx, msg);
+        }
+        self.protocols[host.0 as usize] = Some(proto);
+        self.apply_commands(host, &mut cmds);
+        self.cmd_scratch = cmds;
+    }
+
+    pub(crate) fn protocol_admission(&mut self, host: HostId, worm: WormId) -> Admission {
+        let Some(mut proto) = self.protocols[host.0 as usize].take() else {
+            return Admission::Accept;
+        };
+        let mut cmds = std::mem::take(&mut self.cmd_scratch);
+        let admission = {
+            let inst = &self.worms[worm.0 as usize];
+            let mut ctx = ProtocolCtx {
+                now: self.scheduler.now(),
+                host,
+                tx_backlog: self.adapters[host.0 as usize].tx_backlog(),
+                rng: &mut self.rngs[host.0 as usize],
+                commands: &mut cmds,
+            };
+            proto.on_header(&mut ctx, inst)
+        };
+        self.protocols[host.0 as usize] = Some(proto);
+        if admission == Admission::Refuse && self.cfg.trace {
+            self.trace
+                .push(self.scheduler.now(), TraceEvent::WormRefused { worm, host });
+        }
+        self.apply_commands(host, &mut cmds);
+        self.cmd_scratch = cmds;
+        admission
+    }
+
+    pub(crate) fn notify_worm_received(&mut self, host: HostId, worm: WormId) {
+        self.stats.worms_delivered += 1;
+        if self.cfg.trace {
+            self.trace
+                .push(self.scheduler.now(), TraceEvent::WormReceived { worm, host });
+        }
+        let Some(mut proto) = self.protocols[host.0 as usize].take() else {
+            return;
+        };
+        let mut cmds = std::mem::take(&mut self.cmd_scratch);
+        {
+            let inst = &self.worms[worm.0 as usize];
+            let mut ctx = ProtocolCtx {
+                now: self.scheduler.now(),
+                host,
+                tx_backlog: self.adapters[host.0 as usize].tx_backlog(),
+                rng: &mut self.rngs[host.0 as usize],
+                commands: &mut cmds,
+            };
+            proto.on_worm_received(&mut ctx, inst);
+        }
+        self.protocols[host.0 as usize] = Some(proto);
+        self.apply_commands(host, &mut cmds);
+        self.cmd_scratch = cmds;
+    }
+
+    pub(crate) fn notify_tx_complete(&mut self, host: HostId, worm: WormId) {
+        let Some(mut proto) = self.protocols[host.0 as usize].take() else {
+            return;
+        };
+        let mut cmds = std::mem::take(&mut self.cmd_scratch);
+        {
+            let inst = &self.worms[worm.0 as usize];
+            let mut ctx = ProtocolCtx {
+                now: self.scheduler.now(),
+                host,
+                tx_backlog: self.adapters[host.0 as usize].tx_backlog(),
+                rng: &mut self.rngs[host.0 as usize],
+                commands: &mut cmds,
+            };
+            proto.on_tx_complete(&mut ctx, inst);
+        }
+        self.protocols[host.0 as usize] = Some(proto);
+        self.apply_commands(host, &mut cmds);
+        self.cmd_scratch = cmds;
+    }
+
+    pub(crate) fn notify_flushed(&mut self, host: HostId, worm: WormId) {
+        let Some(mut proto) = self.protocols[host.0 as usize].take() else {
+            return;
+        };
+        let mut cmds = std::mem::take(&mut self.cmd_scratch);
+        {
+            let inst = &self.worms[worm.0 as usize];
+            let mut ctx = ProtocolCtx {
+                now: self.scheduler.now(),
+                host,
+                tx_backlog: self.adapters[host.0 as usize].tx_backlog(),
+                rng: &mut self.rngs[host.0 as usize],
+                commands: &mut cmds,
+            };
+            proto.on_worm_flushed(&mut ctx, inst);
+        }
+        self.protocols[host.0 as usize] = Some(proto);
+        self.apply_commands(host, &mut cmds);
+        self.cmd_scratch = cmds;
+    }
+
+    pub(crate) fn notify_timer(&mut self, host: HostId, token: u64) {
+        let Some(mut proto) = self.protocols[host.0 as usize].take() else {
+            return;
+        };
+        let mut cmds = std::mem::take(&mut self.cmd_scratch);
+        {
+            let mut ctx = ProtocolCtx {
+                now: self.scheduler.now(),
+                host,
+                tx_backlog: self.adapters[host.0 as usize].tx_backlog(),
+                rng: &mut self.rngs[host.0 as usize],
+                commands: &mut cmds,
+            };
+            proto.on_timer(&mut ctx, token);
+        }
+        self.protocols[host.0 as usize] = Some(proto);
+        self.apply_commands(host, &mut cmds);
+        self.cmd_scratch = cmds;
+    }
+
+    fn apply_commands(&mut self, host: HostId, cmds: &mut Vec<Command>) {
+        for cmd in cmds.drain(..) {
+            match cmd {
+                Command::Send(spec) => {
+                    self.inject_worm(host, spec);
+                }
+                Command::DeliverLocal { msg } => {
+                    let at = self.scheduler.now();
+                    self.msgs.deliveries.push(Delivery { msg, host, at });
+                    if self.cfg.trace {
+                        self.trace.push(at, TraceEvent::Delivered { msg, host });
+                    }
+                }
+                Command::SetTimer { delay, token } => {
+                    self.pending_timers += 1;
+                    self.scheduler.after(delay, Event::HostTimer { host, token });
+                }
+            }
+        }
+    }
+
+    // -- worm injection ------------------------------------------------------
+
+    /// Create a worm instance per `spec` and queue it at `host`'s adapter.
+    pub(crate) fn inject_worm(&mut self, host: HostId, mut spec: SendSpec) -> WormId {
+        assert_ne!(
+            host, spec.dest,
+            "protocols must deliver locally instead of sending to self"
+        );
+        let route = match spec.route_override.take() {
+            Some(r) => r,
+            None => {
+                let ports = self.routes.get(host, spec.dest);
+                assert!(
+                    !ports.is_empty(),
+                    "no route from {host:?} to {:?}",
+                    spec.dest
+                );
+                crate::adapter::ports_to_route(ports)
+            }
+        };
+        let id = WormId(self.worms.len() as u32);
+        let now = self.scheduler.now();
+        // Cut-through sanity: following a worm that is not currently being
+        // received would stall forever; treat it as fully available.
+        let follow = spec.follow.filter(|w| {
+            self.adapters[host.0 as usize]
+                .rx_body_got
+                .get(w)
+                .is_some_and(|&g| g != u64::MAX)
+        });
+        let inst = WormInstance {
+            id,
+            sinks: spec.sinks.max(1),
+            meta: WormMeta {
+                kind: spec.kind,
+                msg: spec.msg,
+                injector: host,
+                origin: spec.origin,
+                dest: spec.dest,
+                seq: spec.seq,
+                hops_left: spec.hops_left,
+                buffer_class: spec.buffer_class,
+                frag_index: spec.frag_index,
+                frag_last: spec.frag_last,
+                advertised_size: spec.advertised_size,
+                stage: spec.stage,
+            },
+            route,
+            header_len: self.cfg.header_len,
+            payload_len: spec.payload_len,
+            created: spec.created,
+            injected: now,
+        };
+        let sinks = inst.sinks.max(1) as u64;
+        self.worms.push(inst);
+        self.stats.worms_injected += 1;
+        self.stats.sinks_injected += sinks;
+        self.stats.active_worms += sinks as i64;
+        if self.cfg.corrupt_prob > 0.0 && self.fault_rng.gen_bool(self.cfg.corrupt_prob) {
+            self.corrupt_worms.insert(id);
+        }
+        if self.cfg.trace {
+            self.trace
+                .push(now, TraceEvent::WormInjected { worm: id, host });
+        }
+        let a = &mut self.adapters[host.0 as usize];
+        a.enqueue_tx(TxWorm::new(id, follow), spec.priority);
+        if let Some(ch) = a.chan_out {
+            self.kick_channel(ch);
+        }
+        id
+    }
+
+    // -- auditing ------------------------------------------------------------
+
+    /// Check the conservation invariant. Call at any quiescent point; cheap
+    /// enough to call after every test run.
+    pub fn audit(&self) -> Result<(), String> {
+        let s = &self.stats;
+        let expect = s.worms_delivered + s.worms_refused + s.worms_corrupt + s.worms_flushed;
+        if s.sinks_injected as i64 != expect as i64 + s.active_worms {
+            return Err(format!(
+                "worm conservation violated: sinks_injected={} delivered={} refused={} \
+                 corrupt={} flushed={} active={}",
+                s.sinks_injected,
+                s.worms_delivered,
+                s.worms_refused,
+                s.worms_corrupt,
+                s.worms_flushed,
+                s.active_worms
+            ));
+        }
+        if s.active_worms == 0 {
+            for c in &self.channels {
+                if c.in_flight != 0 {
+                    return Err(format!(
+                        "channel {:?} has {} bytes in flight with no active worms",
+                        c.id, c.in_flight
+                    ));
+                }
+            }
+            for sw in &self.switches {
+                for (i, inp) in sw.inputs.iter().enumerate() {
+                    if !inp.buf.is_empty() {
+                        return Err(format!(
+                            "switch {:?} input {} holds {} bytes with no active worms",
+                            sw.id,
+                            i,
+                            inp.buf.len()
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Aggregate output-link utilization across all host adapters over
+    /// `elapsed` byte-times (the paper's "offered load" axis is per-host
+    /// output-link utilization).
+    pub fn mean_host_tx_utilization(&self, elapsed: SimTime) -> f64 {
+        if self.adapters.is_empty() || elapsed == 0 {
+            return 0.0;
+        }
+        let total: f64 = self
+            .adapters
+            .iter()
+            .filter_map(|a| a.chan_out)
+            .map(|ch| self.channels[ch.0 as usize].utilization(elapsed))
+            .sum();
+        total / self.adapters.len() as f64
+    }
+}

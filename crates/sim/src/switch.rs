@@ -1,0 +1,546 @@
+//! The crossbar switch: slack buffers, backpressure, route parsing,
+//! round-robin output arbitration, and cut-through forwarding.
+//!
+//! A Myrinet switch is deliberately simple: per-input slack buffers with
+//! STOP/GO watermarks (Figure 1 of the paper), a crossbar, and head-byte
+//! route processing. All of that lives here. The switch-level *multicast*
+//! extensions of Section 3 (worm replication in the crossbar) plug in via
+//! [`crate::switchcast`].
+
+use crate::engine::{CtrlSym, Event, SwitchId};
+use crate::link::ChanId;
+use crate::network::Network;
+use crate::time::SimTime;
+use crate::worm::{ByteKind, RouteSym, WireByte, WormId, WormKind};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Slack-buffer configuration (Figure 1): capacity and the two watermarks.
+///
+/// Myrinet sizes the slack so that the bytes in flight during a STOP
+/// round-trip always fit: `capacity >= stop_mark + 2 * link_delay + slop`.
+/// [`SlackCfg::for_delay`] computes a safe configuration for a given link
+/// delay.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SlackCfg {
+    /// Total buffer capacity in bytes.
+    pub capacity: u32,
+    /// High watermark `Ks`: crossing it (upward) sends STOP upstream.
+    pub stop_mark: u32,
+    /// Low watermark `Kg`: crossing it (downward) sends GO upstream.
+    pub go_mark: u32,
+}
+
+impl SlackCfg {
+    /// A slack configuration that can never overflow for links of the given
+    /// propagation delay: after STOP is sent, at most `2 * delay` more bytes
+    /// can arrive (those on the wire plus those sent before STOP lands).
+    pub fn for_delay(delay: SimTime) -> Self {
+        let rtt = (2 * delay) as u32;
+        SlackCfg {
+            stop_mark: 8 + rtt / 2,
+            go_mark: 4,
+            capacity: 8 + rtt / 2 + rtt + 8,
+        }
+    }
+
+    /// Validate the invariants between the marks.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.go_mark >= self.stop_mark {
+            return Err(format!(
+                "go_mark ({}) must be below stop_mark ({})",
+                self.go_mark, self.stop_mark
+            ));
+        }
+        if self.stop_mark >= self.capacity {
+            return Err(format!(
+                "stop_mark ({}) must be below capacity ({})",
+                self.stop_mark, self.capacity
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Input-port worm-processing state.
+#[derive(Debug)]
+pub enum InState {
+    /// Waiting for the head of a new worm; the next front byte must be a
+    /// route byte.
+    Idle,
+    /// Directive parsed; waiting for the output port to be granted.
+    Requesting { worm: WormId, out: u8 },
+    /// Crossbar connection established; the output port pulls bytes from
+    /// this input's slack buffer.
+    Forwarding { worm: WormId, out: u8 },
+    /// Switch-level multicast replication in progress (Section 3).
+    Replicating(Box<crate::switchcast::ReplicaState>),
+    /// Discarding the rest of a worm that was flushed (Backward Reset).
+    Draining { worm: WormId },
+}
+
+/// An input port of a switch.
+#[derive(Debug)]
+pub struct InPort {
+    /// The channel delivering bytes into this port (None if unconnected).
+    pub chan_in: Option<ChanId>,
+    /// The slack buffer.
+    pub buf: VecDeque<WireByte>,
+    pub slack: SlackCfg,
+    /// True while our STOP is in force upstream.
+    pub sent_stop: bool,
+    pub state: InState,
+    /// Bytes dropped at this input (only possible with fault injection or a
+    /// flush; plain backpressure never overflows a validated slack buffer).
+    pub dropped_bytes: u64,
+}
+
+impl InPort {
+    pub fn new(slack: SlackCfg) -> Self {
+        InPort {
+            chan_in: None,
+            buf: VecDeque::new(),
+            slack,
+            sent_stop: false,
+            state: InState::Idle,
+            dropped_bytes: 0,
+        }
+    }
+
+    /// Current occupancy in bytes.
+    #[inline]
+    pub fn occupancy(&self) -> u32 {
+        self.buf.len() as u32
+    }
+}
+
+/// An output port of a switch.
+#[derive(Debug)]
+pub struct OutPort {
+    /// The channel this port transmits on (None if unconnected).
+    pub chan_out: Option<ChanId>,
+    /// Input port currently granted the crossbar connection.
+    pub owner: Option<u8>,
+    /// Input ports waiting for this output (worm heads blocked here).
+    pub waiting: Vec<u8>,
+    /// Round-robin pointer: the next arbitration starts scanning here.
+    pub rr_next: u8,
+    /// When this port last began transmitting IDLE fill bytes, if it is
+    /// currently doing so (used by the multicast-IDLE flush scheme).
+    pub idle_since: Option<SimTime>,
+    /// Flagged as carrying IDLE fill from a blocked multicast.
+    pub multicast_idle: bool,
+}
+
+impl OutPort {
+    pub fn new() -> Self {
+        OutPort {
+            chan_out: None,
+            owner: None,
+            waiting: Vec::new(),
+            rr_next: 0,
+            idle_since: None,
+            multicast_idle: false,
+        }
+    }
+
+    /// Pick the next waiting input in round-robin order (starting from
+    /// `rr_next`) and remove it from the waiting list.
+    pub fn arbitrate(&mut self, num_ports: u8) -> Option<u8> {
+        if self.waiting.is_empty() {
+            return None;
+        }
+        for step in 0..num_ports {
+            let cand = (self.rr_next + step) % num_ports;
+            if let Some(pos) = self.waiting.iter().position(|&w| w == cand) {
+                self.waiting.swap_remove(pos);
+                self.rr_next = (cand + 1) % num_ports;
+                return Some(cand);
+            }
+        }
+        // Waiting entries must always be valid port indices.
+        unreachable!("waiting list held an out-of-range port");
+    }
+}
+
+impl Default for OutPort {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A crossbar switch.
+#[derive(Debug)]
+pub struct Switch {
+    pub id: SwitchId,
+    pub inputs: Vec<InPort>,
+    pub outputs: Vec<OutPort>,
+}
+
+impl Switch {
+    pub fn new(id: SwitchId, ports: u8, slack: SlackCfg) -> Self {
+        Switch {
+            id,
+            inputs: (0..ports).map(|_| InPort::new(slack)).collect(),
+            outputs: (0..ports).map(|_| OutPort::new()).collect(),
+        }
+    }
+
+    pub fn num_ports(&self) -> u8 {
+        self.inputs.len() as u8
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Switch event logic (methods on Network so it can touch channels/scheduler).
+// ---------------------------------------------------------------------------
+
+impl Network {
+    /// A byte arrived at input `port` of switch `sw`.
+    pub(crate) fn switch_rx_byte(&mut self, sw: SwitchId, port: u8, byte: WireByte) {
+        let (occupancy, chan_in, crossed_stop, overflowed) = {
+            let inp = &mut self.switches[sw.0 as usize].inputs[port as usize];
+            if inp.occupancy() >= inp.slack.capacity {
+                // A validated slack buffer never overflows under plain
+                // backpressure; this can only happen with fault injection or
+                // a misconfiguration. Count and drop.
+                inp.dropped_bytes += 1;
+                (inp.occupancy(), inp.chan_in, false, true)
+            } else {
+                inp.buf.push_back(byte);
+                let occ = inp.occupancy();
+                let crossed = occ >= inp.slack.stop_mark && !inp.sent_stop;
+                if crossed {
+                    inp.sent_stop = true;
+                }
+                (occ, inp.chan_in, crossed, false)
+            }
+        };
+        debug_assert!(
+            !overflowed,
+            "slack buffer overflow at switch {sw:?} port {port} (occupancy {occupancy})"
+        );
+        // A replicating input regenerates its own IDLE fills; upstream
+        // fills are dropped so they never count as body bytes.
+        if matches!(byte.kind, ByteKind::Idle)
+            && matches!(
+                self.switches[sw.0 as usize].inputs[port as usize].state,
+                InState::Replicating(_)
+            )
+        {
+            let inp = &mut self.switches[sw.0 as usize].inputs[port as usize];
+            // The byte was just pushed; remove it again.
+            if matches!(inp.buf.back().map(|b| b.kind), Some(ByteKind::Idle)) {
+                inp.buf.pop_back();
+            }
+            return;
+        }
+        if crossed_stop {
+            if let Some(ch) = chan_in {
+                let delay = self.channels[ch.0 as usize].delay;
+                self.scheduler.after(delay, Event::CtrlRx {
+                    ch,
+                    sym: CtrlSym::Stop,
+                });
+            }
+        }
+        self.switch_advance_input(sw, port);
+    }
+
+    /// Drive the input-port state machine: parse directives at the buffer
+    /// front, request outputs, and kick granted output channels.
+    pub(crate) fn switch_advance_input(&mut self, sw: SwitchId, port: u8) {
+        loop {
+            let action = {
+                let inp = &self.switches[sw.0 as usize].inputs[port as usize];
+                match &inp.state {
+                    InState::Idle => match inp.buf.front() {
+                        None => InputAction::None,
+                        Some(front) => match front.kind {
+                            ByteKind::Route(RouteSym::Port(p)) => {
+                                let worm = front.worm;
+                                if matches!(
+                                    self.worms[worm.0 as usize].meta.kind,
+                                    WormKind::SwitchMulticast { .. }
+                                ) {
+                                    InputAction::BeginMulticastParse
+                                } else {
+                                    InputAction::ParseUnicast { worm, out: p }
+                                }
+                            }
+                            ByteKind::Route(RouteSym::Broadcast) => {
+                                InputAction::BeginMulticastParse
+                            }
+                            ByteKind::Idle => InputAction::DiscardFront,
+                            other => {
+                                unreachable!(
+                                    "idle input saw non-route byte {other:?} at {sw:?}:{port}"
+                                )
+                            }
+                        },
+                    },
+                    InState::Requesting { .. } => InputAction::None,
+                    InState::Forwarding { out, .. } => InputAction::KickOut { out: *out },
+                    InState::Replicating(_) => InputAction::AdvanceReplica,
+                    InState::Draining { worm } => match inp.buf.front() {
+                        Some(front) if front.worm == *worm => {
+                            if matches!(front.kind, ByteKind::Tail) {
+                                InputAction::FinishDrain
+                            } else {
+                                InputAction::DiscardFront
+                            }
+                        }
+                        _ => InputAction::None,
+                    },
+                }
+            };
+            match action {
+                InputAction::None => return,
+                InputAction::ParseUnicast { worm, out } => {
+                    {
+                        let inp = &mut self.switches[sw.0 as usize].inputs[port as usize];
+                        inp.buf.pop_front();
+                        inp.state = InState::Requesting { worm, out };
+                    }
+                    self.after_slack_dequeue(sw, port);
+                    self.switch_request_output(sw, out, port);
+                    // Whether granted or queued, nothing more to parse until
+                    // this worm completes.
+                    return;
+                }
+                InputAction::BeginMulticastParse => {
+                    self.switchcast_begin_parse(sw, port);
+                    return;
+                }
+                InputAction::AdvanceReplica => {
+                    self.switchcast_advance(sw, port);
+                    return;
+                }
+                InputAction::DiscardFront => {
+                    {
+                        let inp = &mut self.switches[sw.0 as usize].inputs[port as usize];
+                        inp.buf.pop_front();
+                        inp.dropped_bytes += 1;
+                    }
+                    self.after_slack_dequeue(sw, port);
+                    // Loop: keep examining the front.
+                }
+                InputAction::FinishDrain => {
+                    {
+                        let inp = &mut self.switches[sw.0 as usize].inputs[port as usize];
+                        inp.buf.pop_front(); // the tail byte
+                        inp.dropped_bytes += 1;
+                        inp.state = InState::Idle;
+                    }
+                    self.after_slack_dequeue(sw, port);
+                    // Loop: the next worm's head may already be buffered.
+                }
+                InputAction::KickOut { out } => {
+                    let ch = self.switches[sw.0 as usize].outputs[out as usize].chan_out;
+                    if let Some(ch) = ch {
+                        self.kick_channel(ch);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// An input port asks for an output port. Grants immediately when free,
+    /// otherwise queues the request for round-robin arbitration.
+    pub(crate) fn switch_request_output(&mut self, sw: SwitchId, out: u8, in_port: u8) {
+        let granted = {
+            let outp = &mut self.switches[sw.0 as usize].outputs[out as usize];
+            if outp.owner.is_none() {
+                outp.owner = Some(in_port);
+                true
+            } else {
+                outp.waiting.push(in_port);
+                false
+            }
+        };
+        if granted {
+            self.switch_grant(sw, out, in_port);
+        }
+    }
+
+    /// Complete a grant: flip the input to Forwarding (or mark the replica
+    /// branch granted) and kick the output channel so it pulls bytes.
+    fn switch_grant(&mut self, sw: SwitchId, out: u8, in_port: u8) {
+        let replicating = {
+            let inp = &mut self.switches[sw.0 as usize].inputs[in_port as usize];
+            match inp.state {
+                InState::Requesting { worm, out: o } => {
+                    debug_assert_eq!(o, out);
+                    inp.state = InState::Forwarding { worm, out };
+                    false
+                }
+                InState::Replicating(_) => true,
+                ref other => unreachable!("grant to input in state {other:?}"),
+            }
+        };
+        if replicating {
+            self.switchcast_granted(sw, out, in_port);
+            return;
+        }
+        if let Some(ch) = self.switches[sw.0 as usize].outputs[out as usize].chan_out {
+            self.kick_channel(ch);
+        }
+    }
+
+    /// The output port finished a worm (tail went out): release the crossbar
+    /// connection and arbitrate among waiting inputs.
+    pub(crate) fn switch_release_output(&mut self, sw: SwitchId, out: u8) {
+        let next = {
+            let num_ports = self.switches[sw.0 as usize].num_ports();
+            let outp = &mut self.switches[sw.0 as usize].outputs[out as usize];
+            outp.owner = None;
+            outp.idle_since = None;
+            outp.multicast_idle = false;
+            match outp.arbitrate(num_ports) {
+                Some(n) => {
+                    outp.owner = Some(n);
+                    Some(n)
+                }
+                None => None,
+            }
+        };
+        if let Some(in_port) = next {
+            self.switch_grant(sw, out, in_port);
+        }
+    }
+
+    /// Produce the next byte for the channel leaving output `out` of `sw`,
+    /// or `None` if the port has nothing it can send right now.
+    ///
+    /// Called by the channel transmit logic. Also handles worm-tail
+    /// bookkeeping: releasing the output and returning the input to Idle.
+    pub(crate) fn switch_produce_byte(&mut self, sw: SwitchId, out: u8) -> Option<WireByte> {
+        let owner = self.switches[sw.0 as usize].outputs[out as usize].owner?;
+        // Replication has its own production path.
+        if matches!(
+            self.switches[sw.0 as usize].inputs[owner as usize].state,
+            InState::Replicating(_)
+        ) {
+            return self.switchcast_produce_byte(sw, out, owner);
+        }
+        let (byte, finished) = {
+            let inp = &mut self.switches[sw.0 as usize].inputs[owner as usize];
+            match inp.state {
+                InState::Forwarding { worm, out: o } if o == out => match inp.buf.front() {
+                    Some(front) if front.worm == worm => {
+                        let b = inp.buf.pop_front().expect("front exists");
+                        let fin = matches!(b.kind, ByteKind::Tail);
+                        (Some(b), fin)
+                    }
+                    // Head of the next worm, or empty: current worm's bytes
+                    // have not arrived yet (the worm has a hole).
+                    _ => (None, false),
+                },
+                _ => (None, false),
+            }
+        };
+        if byte.is_some() {
+            self.after_slack_dequeue(sw, owner);
+        }
+        if finished {
+            {
+                let inp = &mut self.switches[sw.0 as usize].inputs[owner as usize];
+                inp.state = InState::Idle;
+            }
+            self.switch_release_output(sw, out);
+            // The freed input may already hold the next worm's head.
+            self.switch_advance_input(sw, owner);
+        }
+        byte
+    }
+
+    /// Common post-dequeue bookkeeping for a switch input: send GO when the
+    /// buffer has drained below the low watermark.
+    pub(crate) fn after_slack_dequeue(&mut self, sw: SwitchId, port: u8) {
+        let (send_go, chan_in) = {
+            let inp = &mut self.switches[sw.0 as usize].inputs[port as usize];
+            if inp.sent_stop && inp.occupancy() <= inp.slack.go_mark {
+                inp.sent_stop = false;
+                (true, inp.chan_in)
+            } else {
+                (false, inp.chan_in)
+            }
+        };
+        if send_go {
+            if let Some(ch) = chan_in {
+                let delay = self.channels[ch.0 as usize].delay;
+                self.scheduler.after(delay, Event::CtrlRx {
+                    ch,
+                    sym: CtrlSym::Go,
+                });
+            }
+        }
+    }
+}
+
+/// Decision produced while inspecting an input port (split from the mutation
+/// to keep the borrow checker happy and the state machine legible).
+enum InputAction {
+    None,
+    ParseUnicast { worm: WormId, out: u8 },
+    BeginMulticastParse,
+    AdvanceReplica,
+    DiscardFront,
+    FinishDrain,
+    KickOut { out: u8 },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slack_cfg_for_delay_validates() {
+        for d in [1, 2, 5, 50, 1000] {
+            let cfg = SlackCfg::for_delay(d);
+            cfg.validate().expect("valid");
+            // Room for a full STOP round-trip above the stop mark.
+            assert!(cfg.capacity - cfg.stop_mark >= 2 * d as u32);
+        }
+    }
+
+    #[test]
+    fn slack_cfg_rejects_inverted_marks() {
+        let bad = SlackCfg {
+            capacity: 100,
+            stop_mark: 10,
+            go_mark: 20,
+        };
+        assert!(bad.validate().is_err());
+        let bad2 = SlackCfg {
+            capacity: 10,
+            stop_mark: 10,
+            go_mark: 2,
+        };
+        assert!(bad2.validate().is_err());
+    }
+
+    #[test]
+    fn arbitration_is_round_robin() {
+        let mut out = OutPort::new();
+        out.waiting = vec![0, 2, 3];
+        // rr_next starts at 0 -> grants 0, pointer moves to 1.
+        assert_eq!(out.arbitrate(4), Some(0));
+        assert_eq!(out.rr_next, 1);
+        // Next scan starts at 1: port 1 not waiting, grants 2.
+        assert_eq!(out.arbitrate(4), Some(2));
+        assert_eq!(out.rr_next, 3);
+        assert_eq!(out.arbitrate(4), Some(3));
+        assert_eq!(out.arbitrate(4), None);
+    }
+
+    #[test]
+    fn arbitration_wraps_around() {
+        let mut out = OutPort::new();
+        out.rr_next = 3;
+        out.waiting = vec![0, 1];
+        assert_eq!(out.arbitrate(4), Some(0));
+        assert_eq!(out.arbitrate(4), Some(1));
+    }
+}

@@ -1,0 +1,112 @@
+//! Optional event tracing.
+//!
+//! When [`crate::NetworkConfig::trace`] is set, the network records a
+//! timeline of protocol-visible events. Examples use it to print per-hop
+//! timelines; tests use it to assert ordering properties (e.g. total
+//! ordering of multicast deliveries).
+
+use crate::engine::HostId;
+use crate::link::ChanId;
+use crate::time::SimTime;
+use crate::worm::{MessageId, WormId};
+
+/// One recorded event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A worm entered a transmit queue at `host`.
+    WormInjected { worm: WormId, host: HostId },
+    /// A worm was fully received (checksum good) at `host`.
+    WormReceived { worm: WormId, host: HostId },
+    /// A worm was refused admission (dropped) at `host`.
+    WormRefused { worm: WormId, host: HostId },
+    /// The protocol delivered `msg` to the local host.
+    Delivered { msg: MessageId, host: HostId },
+    /// A STOP took effect on the transmit side of `ch`.
+    StopInForce { ch: ChanId },
+    /// A GO released the transmit side of `ch`.
+    GoReceived { ch: ChanId },
+}
+
+/// An in-memory trace buffer.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    events: Vec<(SimTime, TraceEvent)>,
+}
+
+impl Trace {
+    pub fn push(&mut self, at: SimTime, ev: TraceEvent) {
+        self.events.push((at, ev));
+    }
+
+    pub fn events(&self) -> &[(SimTime, TraceEvent)] {
+        &self.events
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All events concerning a particular host, in time order.
+    pub fn for_host(&self, host: HostId) -> impl Iterator<Item = &(SimTime, TraceEvent)> {
+        self.events.iter().filter(move |(_, e)| match e {
+            TraceEvent::WormInjected { host: h, .. }
+            | TraceEvent::WormReceived { host: h, .. }
+            | TraceEvent::WormRefused { host: h, .. }
+            | TraceEvent::Delivered { host: h, .. } => *h == host,
+            _ => false,
+        })
+    }
+
+    /// The sequence of message deliveries observed at `host`, in time order.
+    /// Used by total-ordering checks.
+    pub fn delivery_order(&self, host: HostId) -> Vec<MessageId> {
+        self.events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                TraceEvent::Delivered { msg, host: h } if *h == host => Some(*msg),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_order_filters_by_host() {
+        let mut t = Trace::default();
+        t.push(1, TraceEvent::Delivered {
+            msg: MessageId(10),
+            host: HostId(0),
+        });
+        t.push(2, TraceEvent::Delivered {
+            msg: MessageId(11),
+            host: HostId(1),
+        });
+        t.push(3, TraceEvent::Delivered {
+            msg: MessageId(12),
+            host: HostId(0),
+        });
+        assert_eq!(t.delivery_order(HostId(0)), vec![MessageId(10), MessageId(12)]);
+        assert_eq!(t.delivery_order(HostId(1)), vec![MessageId(11)]);
+    }
+
+    #[test]
+    fn for_host_ignores_channel_events() {
+        let mut t = Trace::default();
+        t.push(1, TraceEvent::StopInForce { ch: ChanId(0) });
+        t.push(2, TraceEvent::WormInjected {
+            worm: WormId(0),
+            host: HostId(3),
+        });
+        assert_eq!(t.for_host(HostId(3)).count(), 1);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+}

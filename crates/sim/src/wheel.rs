@@ -1,0 +1,323 @@
+//! A timing wheel for the event queue hot path.
+//!
+//! Almost every event in a byte-level wormhole simulation is scheduled a few
+//! byte-times into the future (the next byte on a link, a propagation delay).
+//! A binary heap pays `O(log n)` for each of those; a timing wheel pays
+//! `O(1)`. Events beyond the wheel horizon (protocol retry timers, watchdogs)
+//! go to a small overflow heap and are folded back into the wheel as time
+//! advances.
+//!
+//! Determinism: events that share a timestamp are delivered in the order they
+//! were scheduled (FIFO by a monotonic sequence number), regardless of which
+//! internal structure they travelled through.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Number of slots in the wheel. Must be a power of two. Events scheduled
+/// less than `WHEEL_SLOTS` byte-times ahead take the O(1) path.
+const WHEEL_SLOTS: usize = 4096;
+
+/// An entry waiting in the overflow heap, ordered by `(time, seq)`.
+struct Overflow<T> {
+    time: u64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Overflow<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Overflow<T> {}
+impl<T> PartialOrd for Overflow<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Overflow<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A monotonic-time priority queue specialised for near-future scheduling.
+///
+/// `pop` never returns an item with a timestamp smaller than one already
+/// popped; scheduling in the past (before the last popped timestamp) is a
+/// logic error and panics in debug builds, and is clamped to "now" in
+/// release builds.
+///
+/// ```
+/// use wormcast_sim::wheel::TimingWheel;
+/// let mut w = TimingWheel::new();
+/// w.push(10, "late");
+/// w.push(3, "early");
+/// w.push(1_000_000, "overflow-horizon");
+/// assert_eq!(w.pop(), Some((3, "early")));
+/// assert_eq!(w.pop(), Some((10, "late")));
+/// assert_eq!(w.pop(), Some((1_000_000, "overflow-horizon")));
+/// ```
+pub struct TimingWheel<T> {
+    slots: Vec<Vec<(u64, u64, T)>>,
+    /// The earliest time `pop` may still return. Everything below has fired.
+    now: u64,
+    /// Monotonic tie-breaker so same-time events fire in schedule order.
+    seq: u64,
+    overflow: BinaryHeap<Reverse<Overflow<T>>>,
+    len: usize,
+}
+
+impl<T> Default for TimingWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TimingWheel<T> {
+    /// Create an empty wheel positioned at time 0.
+    pub fn new() -> Self {
+        let mut slots = Vec::with_capacity(WHEEL_SLOTS);
+        slots.resize_with(WHEEL_SLOTS, Vec::new);
+        TimingWheel {
+            slots,
+            now: 0,
+            seq: 0,
+            overflow: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of pending items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The time of the last popped item (the wheel's notion of "now").
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Schedule `item` at absolute time `time`.
+    pub fn push(&mut self, time: u64, item: T) {
+        debug_assert!(
+            time >= self.now,
+            "scheduled event in the past: t={} now={}",
+            time,
+            self.now
+        );
+        let time = time.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.len += 1;
+        if time - self.now < WHEEL_SLOTS as u64 {
+            let slot = (time as usize) & (WHEEL_SLOTS - 1);
+            self.slots[slot].push((time, seq, item));
+        } else {
+            self.overflow.push(Reverse(Overflow { time, seq, item }));
+        }
+    }
+
+    /// Remove and return the earliest `(time, item)` pair, advancing the
+    /// wheel's clock to that time. Returns `None` when empty.
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            // Fold any overflow items that have entered the horizon.
+            while let Some(Reverse(top)) = self.overflow.peek() {
+                if top.time - self.now < WHEEL_SLOTS as u64 {
+                    let Reverse(o) = self.overflow.pop().expect("peeked");
+                    let slot = (o.time as usize) & (WHEEL_SLOTS - 1);
+                    self.slots[slot].push((o.time, o.seq, o.item));
+                } else {
+                    break;
+                }
+            }
+            let slot = (self.now as usize) & (WHEEL_SLOTS - 1);
+            if !self.slots[slot].is_empty() {
+                // All entries in a slot within the horizon share `self.now`
+                // as their time only if they were due now; a slot can hold a
+                // mix of `now` and `now + WHEEL_SLOTS`? No: pushes are
+                // restricted to the horizon, so every entry here is due at
+                // exactly `self.now`. Deliver in seq order.
+                let due = &mut self.slots[slot];
+                // Entries are almost always already seq-ordered (pushes are
+                // monotonic), but overflow folding can interleave; find the
+                // minimum seq.
+                let mut best = 0;
+                for i in 1..due.len() {
+                    if due[i].1 < due[best].1 {
+                        best = i;
+                    }
+                }
+                let (time, _seq, item) = due.swap_remove(best);
+                debug_assert_eq!(time, self.now);
+                self.len -= 1;
+                return Some((time, item));
+            }
+            // Nothing due now: jump the clock. If the overflow heap's head is
+            // nearer than anything in the wheel we must not skip past wheel
+            // entries, so advance one horizon at most, slot by slot.
+            match self.next_time_after() {
+                Some(t) => self.now = t,
+                None => return None,
+            }
+        }
+    }
+
+    /// Find the next timestamp with a pending item, strictly after scanning
+    /// from `self.now` (exclusive of already-drained slots).
+    fn next_time_after(&self) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        for slot in &self.slots {
+            for &(t, _, _) in slot.iter() {
+                if t >= self.now && best.is_none_or(|b| t < b) {
+                    best = Some(t);
+                }
+            }
+        }
+        if let Some(Reverse(top)) = self.overflow.peek() {
+            if best.is_none_or(|b| top.time < b) {
+                best = Some(top.time);
+            }
+        }
+        best
+    }
+
+    /// Peek at the earliest pending timestamp without popping.
+    pub fn peek_time(&self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        // Fast path: something due at `now`.
+        let slot = (self.now as usize) & (WHEEL_SLOTS - 1);
+        if self.slots[slot].iter().any(|&(t, _, _)| t == self.now) {
+            return Some(self.now);
+        }
+        self.next_time_after()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse as Rev;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn empty_pops_none() {
+        let mut w: TimingWheel<u32> = TimingWheel::new();
+        assert!(w.pop().is_none());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        let mut w = TimingWheel::new();
+        w.push(5, "a");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.pop(), Some((5, "a")));
+        assert!(w.pop().is_none());
+    }
+
+    #[test]
+    fn fifo_within_same_time() {
+        let mut w = TimingWheel::new();
+        w.push(3, 1);
+        w.push(3, 2);
+        w.push(3, 3);
+        assert_eq!(w.pop(), Some((3, 1)));
+        assert_eq!(w.pop(), Some((3, 2)));
+        assert_eq!(w.pop(), Some((3, 3)));
+    }
+
+    #[test]
+    fn ordering_across_times() {
+        let mut w = TimingWheel::new();
+        w.push(10, "later");
+        w.push(2, "sooner");
+        w.push(7, "middle");
+        assert_eq!(w.pop(), Some((2, "sooner")));
+        assert_eq!(w.pop(), Some((7, "middle")));
+        assert_eq!(w.pop(), Some((10, "later")));
+    }
+
+    #[test]
+    fn overflow_beyond_horizon() {
+        let mut w = TimingWheel::new();
+        w.push(1_000_000, "far");
+        w.push(1, "near");
+        assert_eq!(w.pop(), Some((1, "near")));
+        assert_eq!(w.pop(), Some((1_000_000, "far")));
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut w = TimingWheel::new();
+        w.push(1, 'a');
+        assert_eq!(w.pop(), Some((1, 'a')));
+        // Schedule relative to the advanced clock.
+        w.push(2, 'b');
+        w.push(5000, 'c'); // overflow relative to now=1
+        assert_eq!(w.pop(), Some((2, 'b')));
+        w.push(3, 'd');
+        assert_eq!(w.pop(), Some((3, 'd')));
+        assert_eq!(w.pop(), Some((5000, 'c')));
+    }
+
+    #[test]
+    fn overflow_fifo_with_direct_pushes() {
+        let mut w = TimingWheel::new();
+        // seq 0 goes to overflow (time 6000), seq 1 direct (time 100).
+        w.push(6000, "overflow-first");
+        w.push(100, "direct");
+        assert_eq!(w.pop(), Some((100, "direct")));
+        // Now push a same-time rival *after* the overflow item was scheduled:
+        // the overflow item (seq 0) must still fire before it (seq 2).
+        w.push(6000, "direct-later");
+        assert_eq!(w.pop(), Some((6000, "overflow-first")));
+        assert_eq!(w.pop(), Some((6000, "direct-later")));
+    }
+
+    /// Differential test against a reference binary heap.
+    #[test]
+    fn matches_reference_heap() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+        let mut w: TimingWheel<u64> = TimingWheel::new();
+        let mut reference: BinaryHeap<Rev<(u64, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for _ in 0..20_000 {
+            if rng.gen_bool(0.6) || w.is_empty() {
+                let ahead = if rng.gen_bool(0.9) {
+                    rng.gen_range(0..64)
+                } else {
+                    rng.gen_range(0..100_000)
+                };
+                let t = now + ahead;
+                w.push(t, seq);
+                reference.push(Rev((t, seq)));
+                seq += 1;
+            } else {
+                let (tw, item) = w.pop().expect("non-empty");
+                let Rev((tr, id)) = reference.pop().expect("non-empty");
+                assert_eq!((tw, item), (tr, id));
+                now = tw;
+            }
+        }
+        while let Some((tw, item)) = w.pop() {
+            let Rev((tr, id)) = reference.pop().expect("same length");
+            assert_eq!((tw, item), (tr, id));
+        }
+        assert!(reference.is_empty());
+    }
+}

@@ -1,0 +1,18 @@
+//! # wormcast-stats — metrics for the experiments
+//!
+//! Statistics over simulation runs: latency distributions, throughput,
+//! loss rates, and (x, y) series formatted the way the paper's figures
+//! report them.
+
+pub mod histogram;
+pub mod latency;
+pub mod links;
+pub mod loss;
+pub mod series;
+pub mod summary;
+pub mod throughput;
+
+pub use histogram::LogHistogram;
+pub use latency::LatencyReport;
+pub use series::Series;
+pub use summary::Summary;

@@ -1,0 +1,83 @@
+//! Per-link utilization reports.
+//!
+//! The paper attributes its early saturation to "congestion around the
+//! root node" of the up/down tree. This module makes that visible: data
+//! and IDLE-fill utilization per directed channel, sorted hottest-first.
+
+use wormcast_sim::link::NodeRef;
+use wormcast_sim::time::SimTime;
+use wormcast_sim::Network;
+
+/// One directed channel's load over a window.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkLoad {
+    /// Source and destination as (node, port) pairs.
+    pub from: (NodeRef, u8),
+    pub to: (NodeRef, u8),
+    /// Data bytes per byte-time (0..=1).
+    pub utilization: f64,
+    /// IDLE fill bytes per byte-time (switch-level multicast waste).
+    pub idle_utilization: f64,
+}
+
+/// All channel loads, hottest first.
+pub fn link_loads(net: &Network, elapsed: SimTime) -> Vec<LinkLoad> {
+    let mut out: Vec<LinkLoad> = net
+        .channels
+        .iter()
+        .map(|c| LinkLoad {
+            from: (c.src.node, c.src.port),
+            to: (c.dst.node, c.dst.port),
+            utilization: c.utilization(elapsed),
+            idle_utilization: if elapsed == 0 {
+                0.0
+            } else {
+                c.idles_carried as f64 / elapsed as f64
+            },
+        })
+        .collect();
+    out.sort_by(|a, b| b.utilization.partial_cmp(&a.utilization).expect("no NaN"));
+    out
+}
+
+/// The ratio of the hottest link's utilization to the mean over loaded
+/// links — the "hot spot factor" that explains early saturation under
+/// up/down routing (1.0 = perfectly balanced).
+pub fn hotspot_factor(net: &Network, elapsed: SimTime) -> f64 {
+    let loads = link_loads(net, elapsed);
+    let busy: Vec<f64> = loads
+        .iter()
+        .map(|l| l.utilization)
+        .filter(|&u| u > 0.0)
+        .collect();
+    if busy.is_empty() {
+        return 1.0;
+    }
+    let mean = busy.iter().sum::<f64>() / busy.len() as f64;
+    busy[0] / mean.max(f64::MIN_POSITIVE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormcast_sim::network::{FabricSpec, HostAttach, RouteTable};
+    use wormcast_sim::NetworkConfig;
+
+    #[test]
+    fn idle_network_is_balanced() {
+        let spec = FabricSpec {
+            switch_ports: vec![2],
+            hosts: vec![
+                HostAttach { switch: 0, port: 0 },
+                HostAttach { switch: 0, port: 1 },
+            ],
+            links: vec![],
+            host_link_delay: 1,
+        };
+        let net = Network::build(&spec, RouteTable::new(2), NetworkConfig::default());
+        assert_eq!(hotspot_factor(&net, 1000), 1.0);
+        let loads = link_loads(&net, 1000);
+        assert_eq!(loads.len(), 4, "two hosts x two directions");
+        assert!(loads.iter().all(|l| l.utilization == 0.0));
+    }
+}

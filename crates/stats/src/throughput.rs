@@ -1,0 +1,67 @@
+//! Throughput accounting.
+
+use wormcast_sim::time::{utilization_to_mbps, SimTime};
+use wormcast_sim::Network;
+
+/// Per-host and aggregate delivered-byte throughput over `elapsed`
+/// byte-times, in bytes per byte-time (multiply by 640 for Mb/s on
+/// Myrinet, or use [`per_host_mbps`]).
+#[derive(Clone, Debug, Default)]
+pub struct Throughput {
+    pub per_host: Vec<f64>,
+    pub aggregate: f64,
+}
+
+/// Received-byte throughput at each adapter (counts every byte the adapter
+/// accepted, i.e. the paper's "received data rate at each host").
+pub fn received(net: &Network, elapsed: SimTime) -> Throughput {
+    let mut per_host = Vec::with_capacity(net.adapters.len());
+    let mut total = 0.0;
+    for a in &net.adapters {
+        let r = if elapsed == 0 {
+            0.0
+        } else {
+            a.counters.bytes_received as f64 / elapsed as f64
+        };
+        per_host.push(r);
+        total += r;
+    }
+    Throughput {
+        per_host,
+        aggregate: total,
+    }
+}
+
+/// Transmitted-byte throughput at each adapter.
+pub fn sent(net: &Network, elapsed: SimTime) -> Throughput {
+    let mut per_host = Vec::with_capacity(net.adapters.len());
+    let mut total = 0.0;
+    for a in &net.adapters {
+        let r = if elapsed == 0 {
+            0.0
+        } else {
+            a.counters.bytes_sent as f64 / elapsed as f64
+        };
+        per_host.push(r);
+        total += r;
+    }
+    Throughput {
+        per_host,
+        aggregate: total,
+    }
+}
+
+/// Convert a per-host rate (bytes per byte-time) to Mb/s at Myrinet speed.
+pub fn per_host_mbps(rate: f64) -> f64 {
+    utilization_to_mbps(rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mbps_conversion() {
+        assert!((per_host_mbps(0.25) - 160.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,152 @@
+//! Random irregular topologies for property tests and robustness checks.
+//!
+//! Myrinet installations are arbitrary switch graphs (that's why Autonet
+//! invented up/down routing in the first place), so the routing and
+//! protocol invariants must hold on irregular topologies, not just the
+//! regular torus/shufflenet. This module generates random connected switch
+//! graphs: a random spanning tree plus extra crosslinks.
+
+use crate::graph::{TopoBuilder, Topology};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use wormcast_sim::time::SimTime;
+
+/// Parameters for random topology generation.
+#[derive(Clone, Copy, Debug)]
+pub struct IrregularSpec {
+    pub num_switches: usize,
+    /// Crosslinks added on top of the spanning tree.
+    pub extra_links: usize,
+    pub hosts_per_switch: usize,
+    pub link_delay: SimTime,
+}
+
+/// Generate a random connected topology. Deterministic in `seed`.
+pub fn irregular(spec: IrregularSpec, seed: u64) -> Topology {
+    assert!(spec.num_switches >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = spec.num_switches;
+    let mut b = TopoBuilder::new(n);
+    // Random spanning tree: attach each switch i >= 1 to a random earlier
+    // switch (uniform random recursive tree).
+    for i in 1..n {
+        let p = rng.gen_range(0..i);
+        b.link(p, i, spec.link_delay);
+    }
+    // Extra crosslinks between pairs not already linked.
+    let mut pairs: std::collections::HashSet<(usize, usize)> = b
+        .clone()
+        .build()
+        .links
+        .iter()
+        .map(|l| (l.a.min(l.b), l.a.max(l.b)))
+        .collect();
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < spec.extra_links && attempts < spec.extra_links * 50 {
+        attempts += 1;
+        if n < 2 {
+            break;
+        }
+        let a = rng.gen_range(0..n);
+        let c = rng.gen_range(0..n);
+        if a == c {
+            continue;
+        }
+        let key = (a.min(c), a.max(c));
+        if pairs.contains(&key) {
+            continue;
+        }
+        pairs.insert(key);
+        b.link(a, c, spec.link_delay);
+        added += 1;
+    }
+    for s in 0..n {
+        for _ in 0..spec.hosts_per_switch {
+            b.host(s);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::updown::UpDown;
+
+    #[test]
+    fn always_connected() {
+        for seed in 0..20 {
+            let t = irregular(
+                IrregularSpec {
+                    num_switches: 12,
+                    extra_links: 5,
+                    hosts_per_switch: 1,
+                    link_delay: 1,
+                },
+                seed,
+            );
+            assert!(t.is_connected(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let spec = IrregularSpec {
+            num_switches: 8,
+            extra_links: 4,
+            hosts_per_switch: 2,
+            link_delay: 3,
+        };
+        let a = irregular(spec, 99);
+        let b = irregular(spec, 99);
+        assert_eq!(a.links, b.links);
+        assert_eq!(a.hosts, b.hosts);
+        let c = irregular(spec, 100);
+        assert!(a.links != c.links || a.hosts != c.hosts);
+    }
+
+    #[test]
+    fn updown_legal_on_random_topologies() {
+        for seed in 0..10 {
+            let t = irregular(
+                IrregularSpec {
+                    num_switches: 10,
+                    extra_links: 6,
+                    hosts_per_switch: 1,
+                    link_delay: 1,
+                },
+                seed,
+            );
+            let ud = UpDown::compute(&t, 0);
+            for s in 0..10 {
+                for d in 0..10 {
+                    let p = ud.route_switches(&t, s, d, false).expect("reachable");
+                    assert!(ud.is_legal(&p), "seed {seed}: illegal {p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicate_links() {
+        let t = irregular(
+            IrregularSpec {
+                num_switches: 15,
+                extra_links: 20,
+                hosts_per_switch: 1,
+                link_delay: 1,
+            },
+            7,
+        );
+        let mut pairs: Vec<(usize, usize)> = t
+            .links
+            .iter()
+            .map(|l| (l.a.min(l.b), l.a.max(l.b)))
+            .collect();
+        let before = pairs.len();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len(), before);
+    }
+}

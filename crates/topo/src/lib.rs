@@ -1,0 +1,36 @@
+//! # wormcast-topo — topologies and deadlock-free routing
+//!
+//! Network topologies and the graph algorithms the paper's protocols sit on:
+//!
+//! * a [`graph::TopoBuilder`] for describing switch fabrics with attached
+//!   hosts and turning them into `wormcast-sim` fabric specs;
+//! * the paper's two simulation topologies: the **8×8 torus**
+//!   ([`torus`]) and the **24-node bidirectional shufflenet**
+//!   ([`shufflenet`], after Palnati/Leonardi/Gerla, ICCCN '95);
+//! * **up/down routing** ([`updown`]) — the Autonet/Myrinet deadlock-free
+//!   routing scheme: a BFS spanning tree orients every link, and legal
+//!   routes traverse zero or more "up" links before zero or more "down"
+//!   links;
+//! * the **host-connectivity graph** ([`hostgraph`], the paper's Figure 8
+//!   transformation), whose hop-count weights drive the multicast
+//!   structures;
+//! * **Hamiltonian circuits** ([`hamiltonian`], Section 5) and **rooted
+//!   multicast trees** ([`tree`], Section 6) over group members, both
+//!   respecting the ascending-host-ID rule that makes buffer deadlocks
+//!   impossible;
+//! * random irregular topologies ([`irregular`]) for property tests.
+
+pub mod graph;
+pub mod hamiltonian;
+pub mod hostgraph;
+pub mod irregular;
+pub mod shufflenet;
+pub mod torus;
+pub mod tree;
+pub mod updown;
+
+pub use graph::{TopoBuilder, Topology};
+pub use hamiltonian::{hamiltonian_circuit, CircuitStrategy};
+pub use hostgraph::HostGraph;
+pub use tree::{MulticastTree, TreeShape};
+pub use updown::UpDown;

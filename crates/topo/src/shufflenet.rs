@@ -1,0 +1,103 @@
+//! Bidirectional shufflenet topologies.
+//!
+//! The paper's Figure 11 runs on the 24-node bidirectional shufflenet of
+//! Palnati, Leonardi and Gerla (ICCCN '95). A (p, k) shufflenet has
+//! `k * p^k` nodes arranged in `k` columns of `p^k` rows; node `(c, r)`
+//! connects to nodes `(c+1 mod k, (p*r + j) mod p^k)` for `j in 0..p` — the
+//! perfect-shuffle pattern. Making those links bidirectional gives every
+//! node degree `2p`. With `(p, k) = (2, 3)`: 24 nodes, degree 4 — the
+//! paper's backbone.
+
+use crate::graph::{TopoBuilder, Topology};
+use wormcast_sim::time::SimTime;
+
+/// Build a bidirectional (p, k) shufflenet with one host per switch.
+/// Switch index of node `(c, r)` is `c * p^k + r`; hosts are attached in
+/// switch order so host IDs ascend with switch index.
+pub fn shufflenet(p: usize, k: usize, link_delay: SimTime) -> Topology {
+    assert!(p >= 2 && k >= 2, "shufflenet needs p >= 2, k >= 2");
+    let rows = p.pow(k as u32);
+    let n = k * rows;
+    let mut b = TopoBuilder::new(n);
+    let idx = |c: usize, r: usize| (c % k) * rows + (r % rows);
+    for c in 0..k {
+        for r in 0..rows {
+            for j in 0..p {
+                let from = idx(c, r);
+                let to = idx(c + 1, (p * r + j) % rows);
+                // Each directed shuffle edge becomes one bidirectional link.
+                b.link(from, to, link_delay);
+            }
+        }
+    }
+    for s in 0..n {
+        b.host(s);
+    }
+    b.build()
+}
+
+/// The paper's 24-node bidirectional shufflenet: (p, k) = (2, 3).
+pub fn shufflenet24(link_delay: SimTime) -> Topology {
+    shufflenet(2, 3, link_delay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::updown::UpDown;
+
+    #[test]
+    fn shufflenet24_shape() {
+        let t = shufflenet24(1);
+        assert_eq!(t.num_switches(), 24);
+        assert_eq!(t.num_hosts(), 24);
+        // k * p^k * p bidirectional links.
+        assert_eq!(t.links.len(), 48);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn degree_is_2p() {
+        let t = shufflenet24(1);
+        for s in 0..24 {
+            assert_eq!(t.neighbors(s).len(), 4, "switch {s}");
+        }
+    }
+
+    #[test]
+    fn shuffle_pattern() {
+        let t = shufflenet24(1);
+        // Node (0, 3) = switch 3 must link to (1, 6) = 14 and (1, 7) = 15.
+        let n: Vec<usize> = t.neighbors(3).iter().map(|&(v, _, _, _)| v).collect();
+        assert!(n.contains(&14));
+        assert!(n.contains(&15));
+    }
+
+    #[test]
+    fn wraps_last_column_to_first() {
+        let t = shufflenet24(1);
+        // Node (2, 0) = switch 16 links forward to (0, 0) = 0 and (0, 1) = 1.
+        let n: Vec<usize> = t.neighbors(16).iter().map(|&(v, _, _, _)| v).collect();
+        assert!(n.contains(&0));
+        assert!(n.contains(&1));
+    }
+
+    #[test]
+    fn updown_routes_whole_shufflenet() {
+        let t = shufflenet24(1);
+        let ud = UpDown::compute(&t, 0);
+        for s in 0..24 {
+            for d in 0..24 {
+                let p = ud.route_switches(&t, s, d, false).expect("reachable");
+                assert!(ud.is_legal(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn long_links_carry_delay() {
+        // The paper's Figure 11 uses 1000 byte-time propagation delays.
+        let t = shufflenet24(1000);
+        assert!(t.links.iter().all(|l| l.delay == 1000));
+    }
+}

@@ -1,0 +1,88 @@
+//! k×k torus topologies (the paper's Figure 10 uses an 8×8 torus with one
+//! host per switch).
+
+use crate::graph::{TopoBuilder, Topology};
+use wormcast_sim::time::SimTime;
+
+/// Build a `k`×`k` torus of switches, one host per switch, hosts numbered
+/// in row-major switch order (host IDs therefore increase with switch
+/// index — the ID ordering the deadlock rules use).
+///
+/// `k` must be at least 3 so wrap-around links do not duplicate.
+pub fn torus(k: usize, link_delay: SimTime) -> Topology {
+    assert!(k >= 3, "torus needs k >= 3 (k=2 duplicates wrap links)");
+    let n = k * k;
+    let mut b = TopoBuilder::new(n);
+    let idx = |x: usize, y: usize| (y % k) * k + (x % k);
+    // +x and +y links; wrap-around included.
+    for y in 0..k {
+        for x in 0..k {
+            b.link(idx(x, y), idx(x + 1, y), link_delay);
+        }
+    }
+    for y in 0..k {
+        for x in 0..k {
+            b.link(idx(x, y), idx(x, y + 1), link_delay);
+        }
+    }
+    for s in 0..n {
+        b.host(s);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::updown::UpDown;
+
+    #[test]
+    fn torus_8x8_shape() {
+        let t = torus(8, 1);
+        assert_eq!(t.num_switches(), 64);
+        assert_eq!(t.num_hosts(), 64);
+        assert_eq!(t.links.len(), 128); // 2 links per switch
+        // Every switch: 4 network ports + 1 host port.
+        assert!(t.ports_per_switch.iter().all(|&p| p == 5));
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn every_switch_has_four_neighbors() {
+        let t = torus(4, 1);
+        for s in 0..16 {
+            assert_eq!(t.neighbors(s).len(), 4, "switch {s}");
+        }
+    }
+
+    #[test]
+    fn wraparound_links_exist() {
+        let t = torus(3, 1);
+        // Switch 0 (0,0) must neighbor 2 (2,0) and 6 (0,2) via wraparound.
+        let n0: Vec<usize> = t.neighbors(0).iter().map(|&(v, _, _, _)| v).collect();
+        assert!(n0.contains(&2));
+        assert!(n0.contains(&6));
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 3")]
+    fn rejects_k2() {
+        let _ = torus(2, 1);
+    }
+
+    #[test]
+    fn updown_routes_whole_torus() {
+        let t = torus(4, 1);
+        let ud = UpDown::compute(&t, 0);
+        for s in 0..16 {
+            for d in 0..16 {
+                let p = ud.route_switches(&t, s, d, false).expect("reachable");
+                assert!(ud.is_legal(&p));
+            }
+        }
+        // Up/down paths on a torus are generally longer than shortest paths
+        // (the paper's stated drawback): mean hops must be at least the
+        // true mean shortest distance of a 4x4 torus (= 2.133..).
+        assert!(ud.mean_hops(&t, false) >= 2.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # wormcast-traffic — workload generation
+//!
+//! Reproduces the paper's traffic model (Section 7):
+//!
+//! * worm generation is a **Poisson process** per host, parameterised by
+//!   *offered load* — the output-link utilization per host, the x-axis of
+//!   Figures 10 and 11;
+//! * worm lengths are **geometrically distributed** with a mean of 400
+//!   bytes (clamped to Myrinet's 9 KB maximum);
+//! * each generated worm is a **multicast** with probability `p` (0.10 for
+//!   the torus experiment; swept over {0.05..0.20} for the shufflenet),
+//!   choosing uniformly among the groups its host belongs to; otherwise it
+//!   is a unicast to a uniformly chosen other host;
+//! * multicast groups are built by choosing members at random (10 groups of
+//!   10 on the torus; 4 groups of 6 on the shufflenet).
+//!
+//! All randomness is deterministic per seed.
+
+pub mod arrivals;
+pub mod groups;
+pub mod lengths;
+pub mod rng;
+pub mod script;
+pub mod workload;
+
+pub use arrivals::PoissonArrivals;
+pub use groups::GroupSet;
+pub use lengths::LengthDist;
+pub use workload::{PaperSource, PaperWorkload};

@@ -1,0 +1,108 @@
+//! Deterministic, scripted traffic sources for tests and examples.
+
+use wormcast_sim::engine::HostId;
+use wormcast_sim::protocol::{SourceMessage, TrafficSource};
+use wormcast_sim::time::SimTime;
+use wormcast_sim::Network;
+
+/// Emits exactly one message at its installation time, then stops.
+pub struct OneShot {
+    msg: Option<SourceMessage>,
+}
+
+impl OneShot {
+    pub fn new(msg: SourceMessage) -> Self {
+        OneShot { msg: Some(msg) }
+    }
+}
+
+impl TrafficSource for OneShot {
+    fn next(&mut self, _now: SimTime, _host: HostId) -> (Option<SourceMessage>, Option<SimTime>) {
+        (self.msg.take(), None)
+    }
+}
+
+/// Emits a fixed schedule of `(time, message)` pairs (times must ascend).
+pub struct Script {
+    items: Vec<(SimTime, SourceMessage)>,
+    next_ix: usize,
+}
+
+impl Script {
+    pub fn new(items: Vec<(SimTime, SourceMessage)>) -> Self {
+        assert!(
+            items.windows(2).all(|w| w[0].0 < w[1].0),
+            "script times must strictly ascend"
+        );
+        Script { items, next_ix: 0 }
+    }
+}
+
+impl TrafficSource for Script {
+    fn next(&mut self, now: SimTime, _host: HostId) -> (Option<SourceMessage>, Option<SimTime>) {
+        let Some(&(at, msg)) = self.items.get(self.next_ix) else {
+            return (None, None);
+        };
+        debug_assert_eq!(at, now, "script fired at the wrong time");
+        self.next_ix += 1;
+        let gap = self.items.get(self.next_ix).map(|&(t, _)| t - now);
+        (Some(msg), gap)
+    }
+}
+
+/// Install a scripted schedule on `host` (first event at the first time).
+pub fn install_script(net: &mut Network, host: HostId, items: Vec<(SimTime, SourceMessage)>) {
+    if items.is_empty() {
+        return;
+    }
+    let first = items[0].0;
+    net.set_source(host, Box::new(Script::new(items)), first);
+}
+
+/// Install a single message at `at` on `host`.
+pub fn install_one_shot(net: &mut Network, host: HostId, at: SimTime, msg: SourceMessage) {
+    net.set_source(host, Box::new(OneShot::new(msg)), at);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormcast_sim::protocol::Destination;
+
+    fn m(len: u32) -> SourceMessage {
+        SourceMessage {
+            dest: Destination::Unicast(HostId(1)),
+            payload_len: len,
+        }
+    }
+
+    #[test]
+    fn one_shot_fires_once() {
+        let mut s = OneShot::new(m(10));
+        let (a, gap) = s.next(5, HostId(0));
+        assert!(a.is_some());
+        assert!(gap.is_none());
+        let (b, _) = s.next(6, HostId(0));
+        assert!(b.is_none());
+    }
+
+    #[test]
+    fn script_follows_schedule() {
+        let mut s = Script::new(vec![(10, m(1)), (25, m(2)), (30, m(3))]);
+        let (a, gap) = s.next(10, HostId(0));
+        assert_eq!(a.unwrap().payload_len, 1);
+        assert_eq!(gap, Some(15));
+        let (b, gap) = s.next(25, HostId(0));
+        assert_eq!(b.unwrap().payload_len, 2);
+        assert_eq!(gap, Some(5));
+        let (c, gap) = s.next(30, HostId(0));
+        assert_eq!(c.unwrap().payload_len, 3);
+        assert_eq!(gap, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascend")]
+    fn script_rejects_unordered() {
+        let _ = Script::new(vec![(10, m(1)), (10, m(2))]);
+    }
+}

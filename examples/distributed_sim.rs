@@ -1,0 +1,126 @@
+//! Distributed Interactive Simulation over the wormhole LAN.
+//!
+//! The paper's introduction motivates network-level multicast with
+//! distributed simulation (DIS): every federate broadcasts state updates
+//! to the group, and the algorithms require **reliable, totally ordered**
+//! delivery. This example runs a DIS-style workload — every member
+//! periodically multicasts an entity-state update — under the two
+//! totally-ordered schemes (serialized Hamiltonian circuit, root-serialized
+//! tree) and the repeated-unicast baseline, then verifies the ordering
+//! guarantee and compares latency.
+//!
+//!     cargo run --release --example distributed_sim
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use wormcast::core::ordering::check_total_order;
+use wormcast::core::{
+    HcConfig, HcProtocol, Membership, TreeConfig, TreeProtocol, UnicastRepeatConfig,
+    UnicastRepeatProtocol,
+};
+use wormcast::sim::engine::HostId;
+use wormcast::sim::protocol::{Destination, SourceMessage};
+use wormcast::sim::{Network, NetworkConfig};
+use wormcast::stats::latency::{latencies, Kind};
+use wormcast::topo::torus::torus;
+use wormcast::topo::tree::{MulticastTree, TreeShape};
+use wormcast::topo::UpDown;
+use wormcast::traffic::script::install_script;
+
+const UPDATE_BYTES: u32 = 144; // a DIS entity-state PDU
+const UPDATE_PERIOD: u64 = 40_000; // 0.5 ms at 640 Mb/s
+
+fn run(scheme: &str) -> (f64, f64, bool) {
+    let topo = torus(4, 1);
+    let ud = UpDown::compute(&topo, 0);
+    let routes = ud.route_table(&topo, false);
+    let mut net = Network::build(&topo.to_fabric_spec(), routes, NetworkConfig::default());
+    // One federation of 9 simulators spread over the 16 hosts.
+    let members: Vec<HostId> = (0..16).step_by(2).take(9).map(HostId).collect();
+    let groups = Membership::from_groups([(0u8, members.clone())]);
+    match scheme {
+        "hc-serialized" => {
+            let cfg = HcConfig {
+                serialize: true,
+                ..HcConfig::store_and_forward()
+            };
+            for h in 0..16u32 {
+                net.set_protocol(
+                    HostId(h),
+                    Box::new(HcProtocol::new(HostId(h), cfg, Arc::clone(&groups))),
+                );
+            }
+        }
+        "tree-root-serialized" => {
+            let tree = MulticastTree::build(&members, TreeShape::BinaryHeap, None);
+            let mut trees = HashMap::new();
+            trees.insert(0u8, tree);
+            let trees = Arc::new(trees);
+            for h in 0..16u32 {
+                net.set_protocol(
+                    HostId(h),
+                    Box::new(TreeProtocol::new(
+                        HostId(h),
+                        TreeConfig::store_and_forward(),
+                        Arc::clone(&trees),
+                    )),
+                );
+            }
+        }
+        "repeated-unicast" => {
+            for h in 0..16u32 {
+                net.set_protocol(
+                    HostId(h),
+                    Box::new(UnicastRepeatProtocol::new(
+                        HostId(h),
+                        UnicastRepeatConfig::default(),
+                        Arc::clone(&groups),
+                    )),
+                );
+            }
+        }
+        other => panic!("unknown scheme {other}"),
+    }
+    // Every federate publishes a state update each period (staggered).
+    for (i, &m) in members.iter().enumerate() {
+        let items = (0..25u64)
+            .map(|k| {
+                (
+                    1_000 + i as u64 * 1_700 + k * UPDATE_PERIOD,
+                    SourceMessage {
+                        dest: Destination::Multicast(0),
+                        payload_len: UPDATE_BYTES,
+                    },
+                )
+            })
+            .collect();
+        install_script(&mut net, m, items);
+    }
+    let out = net.run_until(3_000_000);
+    assert!(out.drained, "{scheme}: run must drain");
+    net.audit().expect("conservation");
+    let lat = latencies(&net.msgs, Kind::Multicast, 0, 3_000_000, None);
+    let ordered = check_total_order(&net.msgs, 0, &members).is_none();
+    (lat.per_delivery.mean, lat.per_delivery.max, ordered)
+}
+
+fn main() {
+    println!("DIS federation: 9 members on a 4x4 torus, 144-byte state updates\n");
+    println!(
+        "{:<22} {:>14} {:>14} {:>16}",
+        "scheme", "mean latency", "worst latency", "totally ordered?"
+    );
+    for scheme in ["hc-serialized", "tree-root-serialized", "repeated-unicast"] {
+        let (mean, max, ordered) = run(scheme);
+        println!(
+            "{scheme:<22} {mean:>14.0} {max:>14.0} {:>16}",
+            if ordered { "yes" } else { "NO" }
+        );
+    }
+    println!(
+        "\n(latencies in byte-times; 1 byte-time = 12.5 ns at 640 Mb/s)\n\
+         Repeated unicast offers no ordering guarantee across members and\n\
+         occupies the source for the whole fan-out; the serialized schemes\n\
+         pay one relay hop for a total order — the paper's trade-off."
+    );
+}

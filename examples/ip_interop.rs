@@ -1,0 +1,137 @@
+//! Interoperation with multicast IP (Section 8.1).
+//!
+//! The paper's driver maps class D IP multicast addresses onto the 8-bit
+//! Myrinet group space by taking the low eight bits; colliding IP groups
+//! share a Myrinet group that carries the **union** of their members, and
+//! the receiving IP layer filters. This example builds that mapping for a
+//! `wb`-style whiteboard session and an `nv`-style video session whose
+//! addresses collide in the low byte, runs real traffic over the fabric,
+//! and shows the filtering at work.
+//!
+//!     cargo run --release --example ip_interop
+
+use std::sync::Arc;
+use wormcast::core::ipmap::{ClassD, IpMulticastMap};
+use wormcast::core::{Membership, UnicastRepeatConfig, UnicastRepeatProtocol};
+use wormcast::sim::engine::HostId;
+use wormcast::sim::protocol::{Destination, SourceMessage};
+use wormcast::sim::{Network, NetworkConfig};
+use wormcast::topo::torus::torus;
+use wormcast::topo::UpDown;
+use wormcast::traffic::script::install_script;
+
+fn main() {
+    // Two IP sessions whose class D addresses collide in the low byte:
+    let wb = ClassD::new(224, 2, 127, 7); // whiteboard
+    let nv = ClassD::new(224, 2, 200, 7); // video conference
+    println!(
+        "IP groups: wb={} nv={} -> both map to Myrinet group {}",
+        wb,
+        nv,
+        wb.myrinet_group()
+    );
+
+    let mut map = IpMulticastMap::new();
+    for h in [0u32, 2, 4] {
+        map.join(wb, HostId(h)); // whiteboard members
+    }
+    for h in [4u32, 6, 8] {
+        map.join(nv, HostId(h)); // video members (host 4 is in both)
+    }
+    let union = map.myrinet_members(wb.myrinet_group());
+    println!("Myrinet group {} union membership: {union:?}", wb.myrinet_group());
+
+    // Drive the fabric with the union group; receivers apply the IP filter.
+    let topo = torus(3, 1);
+    let ud = UpDown::compute(&topo, 0);
+    let mut net = Network::build(
+        &topo.to_fabric_spec(),
+        ud.route_table(&topo, false),
+        NetworkConfig::default(),
+    );
+    let groups = Membership::from_groups(map.required_myrinet_groups());
+    for h in 0..9u32 {
+        net.set_protocol(
+            HostId(h),
+            Box::new(UnicastRepeatProtocol::new(
+                HostId(h),
+                UnicastRepeatConfig::default(),
+                Arc::clone(&groups),
+            )),
+        );
+    }
+    // Host 0 sends 3 whiteboard strokes; host 6 sends 3 video frames.
+    // On the wire both are Myrinet group 7 — the union group.
+    let g = wb.myrinet_group();
+    install_script(
+        &mut net,
+        HostId(0),
+        (0..3u64)
+            .map(|i| {
+                (
+                    100 + i * 5_000,
+                    SourceMessage {
+                        dest: Destination::Multicast(g),
+                        payload_len: 200,
+                    },
+                )
+            })
+            .collect(),
+    );
+    install_script(
+        &mut net,
+        HostId(6),
+        (0..3u64)
+            .map(|i| {
+                (
+                    2_100 + i * 5_000,
+                    SourceMessage {
+                        dest: Destination::Multicast(g),
+                        payload_len: 1_400,
+                    },
+                )
+            })
+            .collect(),
+    );
+    net.run_until(500_000);
+    net.audit().expect("conservation");
+
+    // The IP layer filters by the full class D address.
+    println!("\nper-host reception (Myrinet delivered -> IP keeps):");
+    for h in union {
+        let myrinet_got = net
+            .msgs
+            .deliveries
+            .iter()
+            .filter(|d| d.host == h)
+            .count();
+        // Which session does each delivery belong to? Payload size tells
+        // us here; the real driver reads the IP header.
+        let keeps_wb = map.host_accepts(wb, h);
+        let keeps_nv = map.host_accepts(nv, h);
+        let kept = net
+            .msgs
+            .deliveries
+            .iter()
+            .filter(|d| d.host == h)
+            .filter(|d| {
+                let rec = net.msgs.created.iter().find(|c| c.msg == d.msg).unwrap();
+                (rec.payload_len == 200 && keeps_wb) || (rec.payload_len == 1400 && keeps_nv)
+            })
+            .count();
+        println!(
+            "  host {}: {} worms from the union group -> IP layer keeps {} \
+             (wb: {}, nv: {})",
+            h.0,
+            myrinet_got,
+            kept,
+            if keeps_wb { "yes" } else { "filtered" },
+            if keeps_nv { "yes" } else { "filtered" },
+        );
+    }
+    println!(
+        "\nColliding low bytes are safe — the union group over-delivers and\n\
+         the IP layer drops the excess, exactly as the paper's driver did\n\
+         when it demonstrated wb and nv over Myrinet multicast."
+    );
+}

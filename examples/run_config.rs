@@ -1,0 +1,152 @@
+//! Config-driven experiment runner: describe a simulation in JSON, get
+//! JSON results back — the shape a downstream user scripts parameter
+//! studies with.
+//!
+//!     cargo run --release --example run_config            # built-in demo config
+//!     cargo run --release --example run_config -- my.json # your own
+//!
+//! The config selects a topology (torus / shufflenet), a scheme, the
+//! Section 7 workload, and the measurement windows; the output carries the
+//! latency/throughput summaries plus the hottest links.
+
+use serde::{Deserialize, Serialize};
+use wormcast::sim::time::SimTime;
+use wormcast::stats::links::{hotspot_factor, link_loads};
+use wormcast::stats::latency::{latencies, Kind};
+use wormcast::topo::{shufflenet::shufflenet24, torus::torus, Topology};
+use wormcast::traffic::rng::host_stream;
+use wormcast::traffic::workload::PaperWorkload;
+use wormcast::traffic::{GroupSet, LengthDist};
+use wormcast_bench::runner::{build_network, SimSetup};
+use wormcast_bench::Scheme;
+
+#[derive(Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+enum TopologyConfig {
+    Torus { k: usize, link_delay: SimTime },
+    Shufflenet24 { link_delay: SimTime },
+}
+
+#[derive(Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+enum SchemeConfig {
+    HcStoreForward,
+    HcCutThrough,
+    TreeBroadcastGreedy,
+    RepeatUnicast,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Config {
+    topology: TopologyConfig,
+    scheme: SchemeConfig,
+    groups: usize,
+    group_size: usize,
+    offered_load: f64,
+    multicast_prob: f64,
+    mean_worm_bytes: u32,
+    warmup: SimTime,
+    measure: SimTime,
+    drain: SimTime,
+    seed: u64,
+}
+
+#[derive(Serialize)]
+struct Output {
+    multicast_latency_mean: f64,
+    multicast_latency_ci95: f64,
+    multicast_deliveries: usize,
+    unicast_latency_mean: f64,
+    host_tx_utilization: f64,
+    hotspot_factor: f64,
+    hottest_links: Vec<(String, f64)>,
+}
+
+fn demo_config() -> Config {
+    Config {
+        topology: TopologyConfig::Torus { k: 6, link_delay: 1 },
+        scheme: SchemeConfig::TreeBroadcastGreedy,
+        groups: 6,
+        group_size: 8,
+        offered_load: 0.04,
+        multicast_prob: 0.10,
+        mean_worm_bytes: 400,
+        warmup: 40_000,
+        measure: 200_000,
+        drain: 100_000,
+        seed: 42,
+    }
+}
+
+fn main() {
+    let cfg: Config = match std::env::args().nth(1) {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            serde_json::from_str(&text).expect("invalid config JSON")
+        }
+        None => {
+            eprintln!("(no config given; running the built-in demo — pass a JSON path to customise)");
+            eprintln!(
+                "demo config:\n{}\n",
+                serde_json::to_string_pretty(&demo_config()).unwrap()
+            );
+            demo_config()
+        }
+    };
+    let topo: Topology = match cfg.topology {
+        TopologyConfig::Torus { k, link_delay } => torus(k, link_delay),
+        TopologyConfig::Shufflenet24 { link_delay } => shufflenet24(link_delay),
+    };
+    let scheme = match cfg.scheme {
+        SchemeConfig::HcStoreForward => Scheme::Hc(wormcast::core::HcConfig::store_and_forward()),
+        SchemeConfig::HcCutThrough => Scheme::Hc(wormcast::core::HcConfig::cut_through()),
+        SchemeConfig::TreeBroadcastGreedy => wormcast_bench::fig10::figure_tree_scheme(),
+        SchemeConfig::RepeatUnicast => {
+            Scheme::Repeat(wormcast::core::UnicastRepeatConfig::default())
+        }
+    };
+    let mut grng = host_stream(cfg.seed, 0xC0F1);
+    let groups = GroupSet::random(topo.num_hosts(), cfg.groups, cfg.group_size, &mut grng);
+    let setup = SimSetup {
+        topo,
+        updown_root: 0,
+        restrict_to_tree: false,
+        groups,
+        scheme,
+        workload: PaperWorkload {
+            offered_load: cfg.offered_load,
+            multicast_prob: cfg.multicast_prob,
+            lengths: LengthDist::Geometric {
+                mean: cfg.mean_worm_bytes,
+            },
+            stop_at: None,
+        },
+        seed: cfg.seed,
+        warmup: 0,
+        generate_until: 0,
+        drain_until: 0,
+    }
+    .windows(cfg.warmup, cfg.measure, cfg.drain);
+    let mut net = build_network(&setup);
+    let out = net.run_until(setup.drain_until);
+    assert!(out.deadlock.is_none(), "deadlock: {:?}", out.deadlock);
+    net.audit().expect("conservation");
+    let mc = latencies(&net.msgs, Kind::Multicast, setup.warmup, setup.generate_until, None);
+    let uc = latencies(&net.msgs, Kind::Unicast, setup.warmup, setup.generate_until, None);
+    let loads = link_loads(&net, setup.drain_until);
+    let output = Output {
+        multicast_latency_mean: mc.per_delivery.mean,
+        multicast_latency_ci95: mc.per_delivery.ci95(),
+        multicast_deliveries: mc.deliveries,
+        unicast_latency_mean: uc.per_delivery.mean,
+        host_tx_utilization: net.mean_host_tx_utilization(setup.drain_until),
+        hotspot_factor: hotspot_factor(&net, setup.drain_until),
+        hottest_links: loads
+            .iter()
+            .take(5)
+            .map(|l| (format!("{:?}:{} -> {:?}:{}", l.from.0, l.from.1, l.to.0, l.to.1), l.utilization))
+            .collect(),
+    };
+    println!("{}", serde_json::to_string_pretty(&output).unwrap());
+}

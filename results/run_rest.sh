@@ -1,0 +1,12 @@
+#!/bin/bash
+# Wait for fig11 to finish (its stdout is flushed at completion).
+until [ -s /root/repo/results/fig11.txt ]; do sleep 10; done
+cd /root/repo
+for b in fig12_prototype_throughput fig13_prototype_loss ablation_buffer_classes ablation_updown_restriction ablation_baselines ablation_tree_shapes ablation_switchcast ablation_buffer_contention; do
+  cargo bench -p wormcast-bench --bench $b > results/${b#*_}.txt 2> results/${b#*_}.log
+  # normalize names: keep full bench name
+  mv results/${b#*_}.txt results/$b.txt 2>/dev/null
+  mv results/${b#*_}.log results/$b.log 2>/dev/null
+  echo "done $b"
+done
+echo ALL-BENCHES-DONE

@@ -1,0 +1,38 @@
+//! # wormcast
+//!
+//! A facade crate re-exporting the whole `wormcast` workspace: a
+//! production-quality Rust reproduction of
+//!
+//! > Gerla, Palnati, Walton. *Multicasting Protocols for High-Speed,
+//! > Wormhole-Routing Local Area Networks.* ACM SIGCOMM 1996.
+//!
+//! The workspace implements, from scratch:
+//!
+//! * a byte-level, deterministic discrete-event simulator of a
+//!   Myrinet-class wormhole LAN ([`sim`]);
+//! * the paper's topologies (8×8 torus, 24-node bidirectional shufflenet)
+//!   and deadlock-free up/down routing ([`topo`]);
+//! * the paper's contribution — deadlock-free, reliable, network-level
+//!   multicast protocols: Hamiltonian-circuit and rooted-tree host-adapter
+//!   multicast with two-buffer-class deadlock avoidance and implicit
+//!   (ACK/NACK) buffer reservation, plus switch-level multicast with the
+//!   Figure 2 tree route encoding ([`core`]);
+//! * workload generation and statistics ([`traffic`], [`stats`]);
+//! * a calibrated model of the paper's 8-host / 4-switch Myrinet prototype
+//!   for the Section 8 measurements ([`myrinet`]).
+//!
+//! See `README.md` for a quickstart, `DESIGN.md` for the system inventory,
+//! and `EXPERIMENTS.md` for paper-vs-measured results of every figure.
+
+pub use wormcast_core as core;
+pub use wormcast_myrinet as myrinet;
+pub use wormcast_sim as sim;
+pub use wormcast_stats as stats;
+pub use wormcast_topo as topo;
+pub use wormcast_traffic as traffic;
+
+// Compile the README's example as a doctest so it can never drift from the
+// real API.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;

@@ -1,0 +1,205 @@
+//! End-to-end property tests: for random topologies, group memberships and
+//! origins, every multicast scheme delivers exactly-once to exactly the
+//! right hosts, with conservation intact.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+use wormcast::core::switchcast::{SwitchcastProtocol, SwitchcastTables, SwitchcastVariant};
+use wormcast::core::{
+    HcConfig, HcProtocol, Membership, TreeConfig, TreeMode, TreeProtocol,
+};
+use wormcast::sim::engine::HostId;
+use wormcast::sim::switchcast::SwitchcastMode;
+use wormcast::sim::protocol::{Destination, SourceMessage};
+use wormcast::sim::{Network, NetworkConfig};
+use wormcast::topo::irregular::{irregular, IrregularSpec};
+use wormcast::topo::tree::{MulticastTree, TreeShape};
+use wormcast::topo::UpDown;
+use wormcast::traffic::script::install_one_shot;
+
+#[derive(Clone, Copy, Debug)]
+enum Proto {
+    HcSnf,
+    HcCut,
+    HcSerialized,
+    TreeRoot,
+    TreeBroadcast,
+    SwitchV1,
+    SwitchV2,
+}
+
+fn run_one(
+    proto: Proto,
+    topo_seed: u64,
+    n_switches: usize,
+    member_bits: u16,
+    origin_pick: usize,
+) -> Result<(), TestCaseError> {
+    let topo = irregular(
+        IrregularSpec {
+            num_switches: n_switches,
+            extra_links: 3,
+            hosts_per_switch: 2,
+            link_delay: 1,
+        },
+        topo_seed,
+    );
+    let nh = topo.num_hosts();
+    let ud = UpDown::compute(&topo, 0);
+    let restrict = matches!(proto, Proto::SwitchV1);
+    let routes = ud.route_table(&topo, restrict);
+    let members: Vec<HostId> = (0..nh as u32)
+        .filter(|&h| member_bits & (1 << (h % 16)) != 0)
+        .map(HostId)
+        .collect();
+    prop_assume!(members.len() >= 2);
+    let origin = members[origin_pick % members.len()];
+    let membership = Membership::from_groups([(0u8, members.clone())]);
+    let mode = match proto {
+        Proto::SwitchV1 => SwitchcastMode::RestrictedIdle,
+        Proto::SwitchV2 => SwitchcastMode::RootedInterrupt,
+        _ => SwitchcastMode::Off,
+    };
+    let mut net = Network::build(&topo.to_fabric_spec(), routes.clone(), NetworkConfig {
+        switchcast: mode,
+        ..NetworkConfig::default()
+    });
+    match proto {
+        Proto::HcSnf | Proto::HcCut | Proto::HcSerialized => {
+            let cfg = match proto {
+                Proto::HcCut => HcConfig::cut_through(),
+                Proto::HcSerialized => HcConfig {
+                    serialize: true,
+                    ..HcConfig::store_and_forward()
+                },
+                _ => HcConfig::store_and_forward(),
+            };
+            for h in 0..nh as u32 {
+                net.set_protocol(
+                    HostId(h),
+                    Box::new(HcProtocol::new(HostId(h), cfg, Arc::clone(&membership))),
+                );
+            }
+        }
+        Proto::TreeRoot | Proto::TreeBroadcast => {
+            let cfg = TreeConfig {
+                mode: if matches!(proto, Proto::TreeRoot) {
+                    TreeMode::RootSerialized
+                } else {
+                    TreeMode::BroadcastFromOrigin
+                },
+                cut_through_first: false,
+                reliability: wormcast::core::Reliability::None,
+            };
+            let tree = MulticastTree::build(&members, TreeShape::BinaryHeap, None);
+            let mut trees = HashMap::new();
+            trees.insert(0u8, tree);
+            let trees = Arc::new(trees);
+            for h in 0..nh as u32 {
+                net.set_protocol(
+                    HostId(h),
+                    Box::new(TreeProtocol::new(HostId(h), cfg, Arc::clone(&trees))),
+                );
+            }
+        }
+        Proto::SwitchV1 | Proto::SwitchV2 => {
+            let variant = if matches!(proto, Proto::SwitchV1) {
+                SwitchcastVariant::RestrictedIdle
+            } else {
+                SwitchcastVariant::RootedInterrupt
+            };
+            let tables = Arc::new(SwitchcastTables::build(
+                &topo,
+                &ud,
+                &routes,
+                &membership,
+                restrict,
+            ));
+            net.set_broadcast_ports(SwitchcastTables::broadcast_ports(&topo, &ud));
+            for h in 0..nh as u32 {
+                net.set_protocol(
+                    HostId(h),
+                    Box::new(SwitchcastProtocol::new(
+                        HostId(h),
+                        variant,
+                        Arc::clone(&membership),
+                        Arc::clone(&tables),
+                    )),
+                );
+            }
+        }
+    }
+    install_one_shot(&mut net, origin, 50, SourceMessage {
+        dest: Destination::Multicast(0),
+        payload_len: 300,
+    });
+    let out = net.run_until(5_000_000);
+    prop_assert!(out.drained, "{proto:?} failed to drain");
+    prop_assert!(out.deadlock.is_none(), "{proto:?} deadlocked");
+    net.audit().map_err(TestCaseError::fail)?;
+    // Exactly-once delivery to every member except the origin.
+    let mut got: Vec<u32> = net.msgs.deliveries.iter().map(|d| d.host.0).collect();
+    got.sort_unstable();
+    let mut want: Vec<u32> = members
+        .iter()
+        .filter(|&&m| m != origin)
+        .map(|m| m.0)
+        .collect();
+    want.sort_unstable();
+    prop_assert_eq!(got, want, "{:?}: wrong delivery set", proto);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn hc_store_and_forward_delivers_exactly_once(
+        seed in 0u64..300, n in 2usize..7, bits in 1u16.., pick in 0usize..16,
+    ) {
+        run_one(Proto::HcSnf, seed, n, bits, pick)?;
+    }
+
+    #[test]
+    fn hc_cut_through_delivers_exactly_once(
+        seed in 0u64..300, n in 2usize..7, bits in 1u16.., pick in 0usize..16,
+    ) {
+        run_one(Proto::HcCut, seed, n, bits, pick)?;
+    }
+
+    #[test]
+    fn hc_serialized_delivers_exactly_once(
+        seed in 0u64..300, n in 2usize..7, bits in 1u16.., pick in 0usize..16,
+    ) {
+        run_one(Proto::HcSerialized, seed, n, bits, pick)?;
+    }
+
+    #[test]
+    fn tree_root_serialized_delivers_exactly_once(
+        seed in 0u64..300, n in 2usize..7, bits in 1u16.., pick in 0usize..16,
+    ) {
+        run_one(Proto::TreeRoot, seed, n, bits, pick)?;
+    }
+
+    #[test]
+    fn tree_broadcast_delivers_exactly_once(
+        seed in 0u64..300, n in 2usize..7, bits in 1u16.., pick in 0usize..16,
+    ) {
+        run_one(Proto::TreeBroadcast, seed, n, bits, pick)?;
+    }
+
+    #[test]
+    fn switchcast_v1_delivers_exactly_once(
+        seed in 0u64..300, n in 2usize..7, bits in 1u16.., pick in 0usize..16,
+    ) {
+        run_one(Proto::SwitchV1, seed, n, bits, pick)?;
+    }
+
+    #[test]
+    fn switchcast_v2_delivers_exactly_once(
+        seed in 0u64..300, n in 2usize..7, bits in 1u16.., pick in 0usize..16,
+    ) {
+        run_one(Proto::SwitchV2, seed, n, bits, pick)?;
+    }
+}
