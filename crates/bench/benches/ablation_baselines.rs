@@ -16,6 +16,7 @@ use wormcast_bench::runner::{run_parallel, SimSetup};
 use wormcast_bench::Scheme;
 use wormcast_core::{HcConfig, UnicastRepeatConfig};
 use wormcast_sim::engine::HostId;
+use wormcast_sim::network::SimMode;
 use wormcast_topo::torus::torus;
 use wormcast_topo::tree::TreeShape;
 use wormcast_traffic::rng::host_stream;
@@ -80,6 +81,7 @@ fn main() {
                         lengths: LengthDist::Geometric { mean: 400 },
                         stop_at: None,
                     },
+                    mode: SimMode::SpanBatched,
                     seed: 0xAB3,
                     warmup: 0,
                     generate_until: 0,

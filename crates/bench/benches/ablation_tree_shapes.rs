@@ -20,6 +20,7 @@
 
 use wormcast_bench::runner::{run_parallel, SimSetup};
 use wormcast_bench::Scheme;
+use wormcast_sim::network::SimMode;
 use wormcast_core::{Reliability, TreeConfig, TreeMode};
 use wormcast_topo::torus::torus;
 use wormcast_topo::tree::TreeShape;
@@ -77,6 +78,7 @@ fn main() {
                             lengths: LengthDist::Geometric { mean: 400 },
                             stop_at: None,
                         },
+                        mode: SimMode::SpanBatched,
                         seed: 0xAB5,
                         warmup: 0,
                         generate_until: 0,

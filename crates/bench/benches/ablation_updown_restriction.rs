@@ -13,6 +13,7 @@
 use wormcast_bench::runner::{run_parallel, SimSetup};
 use wormcast_bench::Scheme;
 use wormcast_core::HcConfig;
+use wormcast_sim::network::SimMode;
 use wormcast_topo::torus::torus;
 use wormcast_topo::UpDown;
 use wormcast_traffic::rng::host_stream;
@@ -54,6 +55,7 @@ fn main() {
                     lengths: LengthDist::Geometric { mean: 400 },
                     stop_at: None,
                 },
+                mode: SimMode::SpanBatched,
                 seed: 0xAB2,
                 warmup: 0,
                 generate_until: 0,

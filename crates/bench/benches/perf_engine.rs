@@ -3,10 +3,13 @@
 //! bytes per wall-clock second.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use serde::Serialize;
 use std::sync::Arc;
+use wormcast_bench::fig10::{self, Fig10Config};
+use wormcast_bench::runner;
 use wormcast_core::{HcConfig, HcProtocol};
 use wormcast_sim::engine::HostId;
-use wormcast_sim::network::NetworkConfig;
+use wormcast_sim::network::{NetworkConfig, SimMode};
 use wormcast_sim::wheel::TimingWheel;
 use wormcast_sim::Network;
 use wormcast_topo::torus::torus;
@@ -86,5 +89,101 @@ fn bench_simulation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_wheel, bench_routing, bench_simulation);
+#[derive(Serialize)]
+struct ModeRow {
+    events_scheduled: u64,
+    events_fired: u64,
+    bytes_moved: u64,
+    worms_delivered: u64,
+    multicast_deliveries: u64,
+}
+
+#[derive(Serialize)]
+struct SchemeRow {
+    scheme: String,
+    per_byte: ModeRow,
+    span_batched: ModeRow,
+    /// per_byte.events_scheduled / span_batched.events_scheduled — the
+    /// tentpole claims ≥ 5×.
+    scheduled_reduction: f64,
+}
+
+#[derive(Serialize)]
+struct EngineDump {
+    experiment: String,
+    offered_load: f64,
+    windows: (u64, u64, u64),
+    rows: Vec<SchemeRow>,
+}
+
+fn mode_row(r: &runner::RunResult) -> ModeRow {
+    ModeRow {
+        events_scheduled: r.stats.events_scheduled,
+        events_fired: r.stats.events_fired,
+        bytes_moved: r.stats.bytes_moved,
+        worms_delivered: r.stats.worms_delivered,
+        multicast_deliveries: r.multicast.deliveries as u64,
+    }
+}
+
+/// Not a timing micro-benchmark: one deterministic run per engine mode at
+/// the Figure 10 operating point (load 0.08), comparing scheduler event
+/// counts. Dumps `results/BENCH_engine.json` at the repository root.
+fn bench_span_events(_c: &mut Criterion) {
+    const LOAD: f64 = 0.08;
+    let load = LOAD;
+    let cfg = Fig10Config {
+        loads: &[LOAD],
+        warmup: 20_000,
+        measure: 100_000,
+        drain: 40_000,
+        seed: 0xF1610,
+    };
+    let mut rows = Vec::new();
+    for scheme in fig10::schemes() {
+        let mut per_byte = fig10::setup(scheme, load, &cfg);
+        per_byte.mode = SimMode::PerByte;
+        let span = fig10::setup(scheme, load, &cfg);
+        let [rb, rs]: [runner::RunResult; 2] = runner::run_parallel(vec![per_byte, span])
+            .try_into()
+            .expect("two results");
+        let (b, s) = (mode_row(&rb), mode_row(&rs));
+        assert_eq!(
+            (b.bytes_moved, b.worms_delivered, b.multicast_deliveries),
+            (s.bytes_moved, s.worms_delivered, s.multicast_deliveries),
+            "modes diverged — span batching must be invisible"
+        );
+        let reduction = b.events_scheduled as f64 / s.events_scheduled as f64;
+        eprintln!(
+            "span events [{scheme:?}]: per-byte scheduled {} fired {} | span-batched scheduled {} fired {} | reduction {reduction:.2}x",
+            b.events_scheduled, b.events_fired, s.events_scheduled, s.events_fired
+        );
+        rows.push(SchemeRow {
+            scheme: format!("{scheme:?}"),
+            per_byte: b,
+            span_batched: s,
+            scheduled_reduction: reduction,
+        });
+    }
+    let dump = EngineDump {
+        experiment: "fig10 8x8 torus, 10 groups x 10 members, p(mcast)=0.10".into(),
+        offered_load: load,
+        windows: (cfg.warmup, cfg.measure, cfg.drain),
+        rows,
+    };
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = format!("{dir}/BENCH_engine.json");
+    let json = serde_json::to_string_pretty(&dump).expect("serialize dump");
+    std::fs::write(&path, json).expect("write BENCH_engine.json");
+    eprintln!("span events: wrote {path}");
+}
+
+criterion_group!(
+    benches,
+    bench_wheel,
+    bench_routing,
+    bench_simulation,
+    bench_span_events
+);
 criterion_main!(benches);

@@ -13,6 +13,7 @@
 use crate::runner::{run_parallel, RunResult, SimSetup};
 use crate::schemes::Scheme;
 use wormcast_core::{HcConfig, Reliability, TreeConfig, TreeMode};
+use wormcast_sim::network::SimMode;
 use wormcast_stats::Series;
 use wormcast_topo::torus::torus;
 use wormcast_topo::tree::TreeShape;
@@ -82,7 +83,9 @@ pub fn schemes() -> Vec<Scheme> {
     ]
 }
 
-fn setup(scheme: Scheme, load: f64, cfg: &Fig10Config) -> SimSetup {
+/// One experiment point of the figure (public so engine benches can rerun
+/// the same operating point under a different [`SimMode`]).
+pub fn setup(scheme: Scheme, load: f64, cfg: &Fig10Config) -> SimSetup {
     let mut grng = host_stream(cfg.seed, 0x6071);
     let groups = GroupSet::random(64, 10, 10, &mut grng);
     SimSetup {
@@ -97,6 +100,7 @@ fn setup(scheme: Scheme, load: f64, cfg: &Fig10Config) -> SimSetup {
             lengths: LengthDist::Geometric { mean: 400 },
             stop_at: None,
         },
+        mode: SimMode::SpanBatched,
         seed: cfg.seed,
         warmup: 0,
         generate_until: 0,

@@ -14,6 +14,7 @@
 use crate::runner::{run_parallel, RunResult, SimSetup};
 use crate::schemes::Scheme;
 use wormcast_core::HcConfig;
+use wormcast_sim::network::SimMode;
 use wormcast_stats::Series;
 use wormcast_topo::shufflenet::shufflenet24;
 use wormcast_traffic::rng::host_stream;
@@ -82,6 +83,7 @@ fn setup(scheme: Scheme, load: f64, proportion: f64, cfg: &Fig11Config) -> SimSe
             lengths: LengthDist::Geometric { mean: 400 },
             stop_at: None,
         },
+        mode: SimMode::SpanBatched,
         seed: cfg.seed,
         warmup: 0,
         generate_until: 0,

@@ -3,7 +3,7 @@
 use crate::schemes::Scheme;
 use std::sync::Arc;
 use wormcast_core::Membership;
-use wormcast_sim::network::{NetStats, NetworkConfig};
+use wormcast_sim::network::{NetStats, NetworkConfig, SimMode};
 use wormcast_sim::time::SimTime;
 use wormcast_sim::Network;
 use wormcast_stats::latency::{latencies, Kind, LatencyReport};
@@ -21,6 +21,8 @@ pub struct SimSetup {
     pub groups: GroupSet,
     pub scheme: Scheme,
     pub workload: PaperWorkload,
+    /// Engine transmission mode (never changes results, only event counts).
+    pub mode: SimMode,
     pub seed: u64,
     /// Messages created before this time are excluded from statistics.
     pub warmup: SimTime,
@@ -63,6 +65,7 @@ pub fn build_network(setup: &SimSetup) -> Network {
     let graph = HostGraph::from_routes(&routes);
     let cfg = NetworkConfig {
         seed: setup.seed,
+        mode: setup.mode,
         ..NetworkConfig::default()
     };
     let mut net = Network::build(&setup.topo.to_fabric_spec(), routes, cfg);
@@ -88,10 +91,6 @@ pub fn run(setup: &SimSetup) -> RunResult {
     debug_assert!(out.deadlock.is_none(), "unexpected deadlock: {out:?}");
     net.audit().expect("conservation invariant");
     let membership = membership_of(&setup.groups);
-    let expected = |dest: &wormcast_sim::protocol::Destination| match *dest {
-        wormcast_sim::protocol::Destination::Multicast(g) => membership.members(g).len(),
-        wormcast_sim::protocol::Destination::Unicast(_) => 1,
-    };
     let multicast = latencies(
         &net.msgs,
         Kind::Multicast,
@@ -114,7 +113,6 @@ pub fn run(setup: &SimSetup) -> RunResult {
             continue;
         }
         if let wormcast_sim::protocol::Destination::Multicast(g) = rec.dest {
-            let _ = expected(&rec.dest);
             expected_total += membership.expected_deliveries(g, rec.origin);
         }
     }
@@ -133,13 +131,35 @@ pub fn run(setup: &SimSetup) -> RunResult {
     }
 }
 
-/// Run several setups concurrently (one OS thread each), preserving order.
+/// Run several setups concurrently, preserving order. At most
+/// `available_parallelism()` worker threads pull setups from a shared
+/// index, so a large sweep never oversubscribes the machine.
 pub fn run_parallel(setups: Vec<SimSetup>) -> Vec<RunResult> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(setups.len().max(1));
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<RunResult>>> =
+        setups.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = setups
-            .iter()
-            .map(|s| scope.spawn(move || run(s)))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("no panic")).collect()
-    })
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(s) = setups.get(i) else { break };
+                *results[i].lock().expect("no poisoned slot") = Some(run(s));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no poisoned slot")
+                .expect("every slot filled")
+        })
+        .collect()
 }

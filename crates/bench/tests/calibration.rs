@@ -10,6 +10,7 @@ use wormcast_bench::runner::{build_network, membership_of};
 use wormcast_bench::{Scheme, SimSetup};
 use wormcast_core::{HcConfig, Reliability, TreeConfig, TreeMode};
 use wormcast_sim::protocol::{Destination, SourceMessage};
+use wormcast_sim::network::SimMode;
 use wormcast_topo::torus::torus;
 use wormcast_topo::tree::TreeShape;
 use wormcast_traffic::rng::host_stream;
@@ -31,6 +32,7 @@ fn base_setup(load: f64, mcast: f64) -> (SimSetup, GroupSet) {
             lengths: LengthDist::Geometric { mean: 400 },
             stop_at: None,
         },
+        mode: SimMode::SpanBatched,
         seed: 7,
         warmup: 0,
         generate_until: 0,

@@ -30,9 +30,15 @@ pub enum CtrlSym {
 #[derive(Clone, Copy, Debug)]
 pub enum Event {
     /// The transmit side of `ch` should try to put its next byte on the wire.
-    TxKick { ch: ChanId },
+    /// `gen` must match the channel's current kick generation; a mismatch
+    /// means the kick belonged to a span chain cancelled by a STOP and the
+    /// event is ignored (the timing wheel has no random removal).
+    TxKick { ch: ChanId, gen: u32 },
     /// A byte arrives at the receive side of `ch`.
     RxByte { ch: ChanId, byte: WireByte },
+    /// A batched run of data bytes arrives at the receive side of `ch`
+    /// (span-batched mode). The span itself is queued on the channel.
+    RxSpan { ch: ChanId },
     /// A control symbol arrives at the *transmit* side of `ch` (it travelled
     /// on the reverse channel from the receiver).
     CtrlRx { ch: ChanId, sym: CtrlSym },
@@ -95,6 +101,16 @@ impl Scheduler {
     /// Number of pending events.
     pub fn pending(&self) -> usize {
         self.wheel.len()
+    }
+
+    /// Total events ever scheduled (engine cost metric).
+    pub fn events_scheduled(&self) -> u64 {
+        self.wheel.pushed()
+    }
+
+    /// Total events ever dispatched.
+    pub fn events_fired(&self) -> u64 {
+        self.wheel.popped()
     }
 
     /// Timestamp of the next pending event, if any.

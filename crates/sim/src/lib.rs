@@ -48,3 +48,4 @@ pub use network::{Network, NetworkConfig, RunOutcome};
 pub use protocol::{AdapterProtocol, Command, ProtocolCtx};
 pub use time::SimTime;
 pub use worm::{ByteKind, RouteSym, WireByte, WormId, WormInstance, WormKind, WormMeta};
+

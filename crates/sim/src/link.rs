@@ -13,7 +13,9 @@
 
 use crate::engine::{HostId, SwitchId};
 use crate::time::SimTime;
+use crate::worm::WormId;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// Index of a directed channel in the network.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -32,6 +34,21 @@ pub enum NodeRef {
 pub struct Endpoint {
     pub node: NodeRef,
     pub port: u8,
+}
+
+/// A batched run of contiguous data bytes of one worm in flight on a
+/// channel (span-batched mode). Byte `j` of the span conceptually occupies
+/// the wire slot at `start + j`; the whole run is delivered by a single
+/// `RxSpan` event at `start + delay`.
+#[derive(Clone, Copy, Debug)]
+pub struct SpanInFlight {
+    pub worm: WormId,
+    /// Time the first byte of the span was put on the wire.
+    pub start: SimTime,
+    /// Number of data bytes in the span. A STOP truncation may cut this
+    /// back (possibly to the bytes already past the transmitter); the entry
+    /// stays queued so it pairs up with its already-scheduled `RxSpan`.
+    pub len: u64,
 }
 
 /// Transmit-side state of a directed channel.
@@ -57,6 +74,12 @@ pub struct Channel {
     pub bytes_carried: u64,
     /// Total IDLE fill bytes carried (wasted bandwidth, Section 3).
     pub idles_carried: u64,
+    /// Batched byte runs currently on the wire, in send order
+    /// (span-batched mode only; empty in per-byte mode).
+    pub spans: VecDeque<SpanInFlight>,
+    /// Kick generation: bumped when a STOP truncates an in-flight span so
+    /// the span chain's already-scheduled end-of-span `TxKick` is ignored.
+    pub kick_gen: u32,
 }
 
 impl Channel {
@@ -74,6 +97,8 @@ impl Channel {
             in_flight: 0,
             bytes_carried: 0,
             idles_carried: 0,
+            spans: VecDeque::new(),
+            kick_gen: 0,
         }
     }
 

@@ -3,7 +3,7 @@
 use crate::adapter::{Adapter, TxWorm};
 use crate::deadlock::DeadlockReport;
 use crate::engine::{CtrlSym, Event, HostId, Scheduler, SwitchId};
-use crate::link::{ChanId, Channel, Endpoint, NodeRef};
+use crate::link::{ChanId, Channel, Endpoint, NodeRef, SpanInFlight};
 use crate::protocol::{
     Admission, AdapterProtocol, AppMessage, Command, Destination, ProtocolCtx, SendSpec,
     TrafficSource,
@@ -77,6 +77,30 @@ impl RouteTable {
     }
 }
 
+/// Link-transmission engine mode.
+///
+/// `SpanBatched` is an *engine optimisation*, never a semantic mode: a run
+/// under either setting produces bit-identical delivery timestamps, message
+/// logs and network statistics (everything except the event counters, which
+/// measure engine cost). The differential tests in `tests/span_equivalence.rs`
+/// and `crates/bench/tests/` enforce this.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum SimMode {
+    /// One scheduler event per byte per hop — the reference semantics,
+    /// O(bytes·hops) events.
+    PerByte,
+    /// Contiguous runs of ready data bytes move as a single `RxSpan` event
+    /// whenever that is provably indistinguishable from per-byte
+    /// transmission, approaching O(worms·hops) events. Falls back to
+    /// per-byte at headers, tails, watermark proximity, cut-through pacing,
+    /// replication branch points, and on STOP truncation.
+    SpanBatched,
+}
+
+/// Minimum run length worth batching: a 1-byte span costs the same two
+/// events (arrival + next kick) as the per-byte path, so fall through.
+const MIN_SPAN: u64 = 2;
+
 /// Tunables of the simulated fabric.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct NetworkConfig {
@@ -99,6 +123,9 @@ pub struct NetworkConfig {
     /// Switch-level multicast mode (Section 3 of the paper). `Off` for all
     /// host-adapter experiments.
     pub switchcast: SwitchcastMode,
+    /// Link-transmission engine mode. `SpanBatched` (the default) is
+    /// equivalence-tested against `PerByte` and only changes engine cost.
+    pub mode: SimMode,
 }
 
 impl Default for NetworkConfig {
@@ -111,6 +138,7 @@ impl Default for NetworkConfig {
             watchdog_interval: 0,
             trace: false,
             switchcast: SwitchcastMode::Off,
+            mode: SimMode::SpanBatched,
         }
     }
 }
@@ -135,6 +163,12 @@ pub struct NetStats {
     /// Total bytes that completed a channel hop (progress marker).
     pub bytes_moved: u64,
     pub messages_generated: u64,
+    /// Scheduler events pushed over the run — an engine cost metric, the
+    /// one pair of fields that legitimately differs between [`SimMode`]s
+    /// (mask both when comparing modes).
+    pub events_scheduled: u64,
+    /// Scheduler events dispatched over the run (see `events_scheduled`).
+    pub events_fired: u64,
 }
 
 /// A recorded message creation.
@@ -202,6 +236,23 @@ pub struct Network {
     pending_timers: i64,
     watchdog_last_bytes: u64,
     deadlock_seen: Option<DeadlockReport>,
+    /// Deadline of the current `run_until` call. Span deliveries credit
+    /// `bytes_moved` only for bytes whose per-byte arrival slot falls
+    /// before it, so the counter stays bit-identical across [`SimMode`]s
+    /// even when a run ends with span tails conceptually still arriving.
+    run_deadline: SimTime,
+    /// Simulated time when the current `run_until` call began (where the
+    /// previous one stopped). A byte arriving exactly at the deadline is
+    /// credited this run only if it was *sent* before this point: its
+    /// per-byte twin `RxByte` would then already be queued ahead of the
+    /// run's Stop event; a twin pushed mid-run sorts after the Stop and
+    /// fires (and counts) in the next run instead.
+    run_start: SimTime,
+    /// Span-tail bytes whose per-byte arrival slots lie beyond the current
+    /// deadline: `(first_slot, remaining, link_delay)`, credited by later
+    /// runs (the delay recovers each slot's send time for the
+    /// deadline-boundary rule above).
+    deferred_moves: Vec<(SimTime, u64, SimTime)>,
 }
 
 impl Network {
@@ -317,6 +368,9 @@ impl Network {
             pending_timers: 0,
             watchdog_last_bytes: 0,
             deadlock_seen: None,
+            run_deadline: 0,
+            run_start: 0,
+            deferred_moves: Vec::new(),
         }
     }
 
@@ -398,6 +452,26 @@ impl Network {
     /// Run until `t_end` (or until the event queue drains, or a deadlock is
     /// detected by the watchdog / drain check).
     pub fn run_until(&mut self, t_end: SimTime) -> RunOutcome {
+        self.run_start = self.scheduler.now();
+        self.run_deadline = t_end;
+        // Credit span-tail bytes a previous run left beyond its deadline:
+        // slots strictly before `t_end`, plus the slot at exactly `t_end`
+        // when that byte was sent before this run (see `run_start`).
+        let run_start = self.run_start;
+        self.deferred_moves.retain_mut(|(start, rem, delay)| {
+            let mut due = if *start > t_end {
+                0
+            } else {
+                (t_end - *start).min(*rem)
+            };
+            if due < *rem && *start + due == t_end && t_end.saturating_sub(*delay) < run_start {
+                due += 1;
+            }
+            self.stats.bytes_moved += due;
+            *start += due;
+            *rem -= due;
+            *rem > 0
+        });
         self.scheduler.at(t_end, Event::Stop);
         if self.cfg.watchdog_interval > 0 {
             self.scheduler
@@ -406,6 +480,7 @@ impl Network {
         }
         loop {
             let Some((t, ev)) = self.scheduler.pop() else {
+                self.sync_event_stats();
                 // Queue drained: with outstanding worms this is a deadlock
                 // (nothing can ever move again).
                 let deadlock = if self.stats.active_worms > 0 {
@@ -427,6 +502,7 @@ impl Network {
             match ev {
                 Event::Stop => {
                     if t >= t_end {
+                        self.sync_event_stats();
                         // Worms still outstanding at the deadline: check for
                         // a genuine wait cycle so callers can tell overload
                         // apart from deadlock.
@@ -444,8 +520,9 @@ impl Network {
                         };
                     }
                 }
-                Event::TxKick { ch } => self.handle_tx_kick(ch),
+                Event::TxKick { ch, gen } => self.handle_tx_kick(ch, gen),
                 Event::RxByte { ch, byte } => self.handle_rx_byte(ch, byte),
+                Event::RxSpan { ch } => self.handle_rx_span(ch),
                 Event::CtrlRx { ch, sym } => self.handle_ctrl(ch, sym),
                 Event::Inject { host } => {
                     self.pending_injects -= 1;
@@ -481,6 +558,12 @@ impl Network {
         self.deadlock_seen.as_ref()
     }
 
+    /// Mirror the scheduler's lifetime event counters into [`NetStats`].
+    fn sync_event_stats(&mut self) {
+        self.stats.events_scheduled = self.scheduler.events_scheduled();
+        self.stats.events_fired = self.scheduler.events_fired();
+    }
+
     // -- channel handling ----------------------------------------------------
 
     /// Ensure the transmit side of `ch` has a pending `TxKick`.
@@ -491,16 +574,25 @@ impl Network {
         }
         c.tx_active = true;
         let at = c.next_tx_time.max(self.scheduler.now());
-        self.scheduler.at(at, Event::TxKick { ch });
+        let gen = c.kick_gen;
+        self.scheduler.at(at, Event::TxKick { ch, gen });
     }
 
-    fn handle_tx_kick(&mut self, ch: ChanId) {
+    fn handle_tx_kick(&mut self, ch: ChanId, gen: u32) {
         let (src, stopped) = {
             let c = &self.channels[ch.0 as usize];
+            if gen != c.kick_gen {
+                // This kick belonged to a span chain a STOP truncated; the
+                // GO that lifts the STOP starts a fresh chain.
+                return;
+            }
             (c.src, c.stopped)
         };
         if stopped {
             self.channels[ch.0 as usize].tx_active = false;
+            return;
+        }
+        if self.cfg.mode == SimMode::SpanBatched && self.try_emit_span(ch) {
             return;
         }
         let byte = match src.node {
@@ -519,12 +611,218 @@ impl Network {
                 }
                 c.next_tx_time = now + 1;
                 let delay = c.delay;
+                let gen = c.kick_gen;
                 self.scheduler.after(delay, Event::RxByte { ch, byte: b });
-                self.scheduler.after(1, Event::TxKick { ch });
+                self.scheduler.after(1, Event::TxKick { ch, gen });
                 // tx_active stays true: the follow-up kick is pending.
             }
             None => {
                 self.channels[ch.0 as usize].tx_active = false;
+            }
+        }
+    }
+
+    /// Span-batched fast path (see DESIGN.md §3.1): when the producer holds
+    /// a run of contiguous ready data bytes of one worm and moving them in
+    /// a single event is provably indistinguishable from per-byte
+    /// transmission, put the whole run on the wire at once. Returns true
+    /// when a span went out (the end-of-span kick is scheduled); false
+    /// means the caller must produce per-byte.
+    fn try_emit_span(&mut self, ch: ChanId) -> bool {
+        // Replication, IDLE fill and flushes (Section 3 machinery) make
+        // byte-level interleaving observable; the fast path is off outright.
+        if !self.switchcast_allows_spans() {
+            return false;
+        }
+        let (src, dst, wire) = {
+            let c = &self.channels[ch.0 as usize];
+            (c.src, c.dst, c.in_flight as u64)
+        };
+        let Some((worm, avail)) = (match src.node {
+            NodeRef::Switch(s) => self.switch_span_ready(s, src.port),
+            NodeRef::Host(h) => self.adapter_span_ready(h),
+        }) else {
+            return false;
+        };
+        let Some(room) = (match dst.node {
+            NodeRef::Switch(s) => self.switch_span_room(s, dst.port, wire),
+            NodeRef::Host(h) => self.adapter_span_room(h, worm),
+        }) else {
+            return false;
+        };
+        let mut k = avail.min(room);
+        // Keep the watchdog's progress sampling meaningful: a span credits
+        // all its bytes in one event, so cap the movement gap well below
+        // the sampling interval. (Any cap is semantics-preserving.)
+        if self.cfg.watchdog_interval > 0 {
+            k = k.min((self.cfg.watchdog_interval / 2).max(1));
+        }
+        if k < MIN_SPAN {
+            return false;
+        }
+        // Commit: dequeue the run from the producer...
+        let producer_drained = match src.node {
+            NodeRef::Switch(s) => {
+                let owner = self.switches[s.0 as usize].outputs[src.port as usize]
+                    .owner
+                    .expect("span-ready output has an owner");
+                let inp = &mut self.switches[s.0 as usize].inputs[owner as usize];
+                for _ in 0..k {
+                    let b = inp.buf.pop_front().expect("span-ready bytes buffered");
+                    debug_assert!(b.worm == worm && matches!(b.kind, ByteKind::Data));
+                }
+                // No per-dequeue GO check: `switch_span_ready` guaranteed
+                // `sent_stop` is false for the whole drain window.
+                inp.buf.is_empty()
+            }
+            NodeRef::Host(h) => {
+                let a = &mut self.adapters[h.0 as usize];
+                a.tx_queue
+                    .front_mut()
+                    .expect("span-ready head worm")
+                    .body_sent += k;
+                a.counters.bytes_sent += k;
+                // The tail byte (at least) is still owed, so the adapter
+                // always needs the end-of-span kick.
+                false
+            }
+        };
+        // ...and move it as one span.
+        let now = self.scheduler.now();
+        let (delay, gen) = {
+            let c = &mut self.channels[ch.0 as usize];
+            c.in_flight += k as u32;
+            c.bytes_carried += k;
+            c.next_tx_time = now + k;
+            c.spans.push_back(SpanInFlight {
+                worm,
+                start: now,
+                len: k,
+            });
+            (c.delay, c.kick_gen)
+        };
+        self.scheduler.after(delay, Event::RxSpan { ch });
+        if producer_drained {
+            // The span took everything the producer had; an end-of-span
+            // kick would only find an empty buffer (the dominant event cost
+            // at light load). Go idle instead: whatever refills the buffer
+            // re-kicks via `kick_channel`, which paces the kick to
+            // `next_tx_time`, so send slots are unchanged.
+            self.channels[ch.0 as usize].tx_active = false;
+        } else {
+            self.scheduler.after(k, Event::TxKick { ch, gen });
+            // tx_active stays true: the end-of-span kick is pending.
+        }
+        true
+    }
+
+    /// Deliver the oldest in-flight span on `ch`. Spans and single bytes on
+    /// one channel share FIFO wire order, so the queue front is always the
+    /// arriving span.
+    fn handle_rx_span(&mut self, ch: ChanId) {
+        let (dst, span) = {
+            let c = &mut self.channels[ch.0 as usize];
+            let span = c.spans.pop_front().expect("RxSpan without queued span");
+            c.in_flight -= span.len as u32;
+            (c.dst, span)
+        };
+        if span.len == 0 {
+            // Fully revoked by a STOP truncation (only the already-sent
+            // remainder of a span survives; an empty one is just the
+            // placeholder for this event).
+            return;
+        }
+        // Credit `bytes_moved` per-byte-exactly: byte `j` of the span
+        // conceptually arrives at `now + j`. Arrivals strictly before the
+        // run deadline always count; the arrival landing exactly on it
+        // counts only if sent before this run began (its per-byte twin
+        // would then be queued ahead of the Stop event — see `run_start`).
+        // The tail is credited by whichever later run covers its slots.
+        let now = self.scheduler.now();
+        let mut counted = span.len.min(self.run_deadline.saturating_sub(now));
+        if counted < span.len
+            && now + counted == self.run_deadline
+            && span.start + counted < self.run_start
+        {
+            counted += 1;
+        }
+        self.stats.bytes_moved += counted;
+        if counted < span.len {
+            self.deferred_moves
+                .push((now + counted, span.len - counted, now - span.start));
+        }
+        debug_assert!(
+            self.flushed_worms.is_empty(),
+            "spans and flushes cannot coexist (switchcast gates the fast path)"
+        );
+        match dst.node {
+            NodeRef::Switch(s) => self.switch_rx_span(s, dst.port, span.worm, span.len),
+            NodeRef::Host(h) => self.adapter_rx_span(h, span.worm, span.len),
+        }
+    }
+
+    /// A STOP just took effect on `ch` at time `now`. In per-byte mode the
+    /// CtrlRx always fires before the same-timestamp TxKick (it was
+    /// scheduled at least `delay` ≥ 1 byte-times earlier, and within its
+    /// scheduling timestamp the RxByte that triggered it precedes the chain
+    /// kick), so no byte with a send slot ≥ `now` has gone out — except the
+    /// first byte of a span emitted by a kick that ran earlier this very
+    /// timestamp. Cut every in-flight span back to its already-sent prefix
+    /// and hand the revoked bytes back to the producer.
+    fn truncate_spans(&mut self, ch: ChanId) {
+        let now = self.scheduler.now();
+        let (revoked, worm) = {
+            let c = &mut self.channels[ch.0 as usize];
+            debug_assert!(
+                c.spans.iter().rev().skip(1).all(|s| s.start + s.len <= now),
+                "only the newest span can still be sending"
+            );
+            let Some(span) = c.spans.back_mut() else {
+                return;
+            };
+            if span.start + span.len <= now {
+                return;
+            }
+            let sent = (now - span.start).max(1).min(span.len);
+            let revoked = span.len - sent;
+            span.len = sent;
+            if revoked == 0 {
+                return;
+            }
+            let worm = span.worm;
+            c.in_flight -= revoked as u32;
+            c.bytes_carried -= revoked;
+            c.next_tx_time = now;
+            // Cancel the pending end-of-span kick; the GO that lifts this
+            // STOP will start a fresh chain at `next_tx_time`.
+            c.kick_gen = c.kick_gen.wrapping_add(1);
+            c.tx_active = false;
+            (revoked, worm)
+        };
+        let src = self.channels[ch.0 as usize].src;
+        match src.node {
+            NodeRef::Switch(s) => {
+                let owner = self.switches[s.0 as usize].outputs[src.port as usize]
+                    .owner
+                    .expect("truncated span has a crossbar owner");
+                let inp = &mut self.switches[s.0 as usize].inputs[owner as usize];
+                debug_assert!(matches!(
+                    inp.state,
+                    crate::switch::InState::Forwarding { worm: w, .. } if w == worm
+                ));
+                for _ in 0..revoked {
+                    inp.buf.push_front(crate::worm::WireByte {
+                        worm,
+                        kind: ByteKind::Data,
+                    });
+                }
+            }
+            NodeRef::Host(h) => {
+                let a = &mut self.adapters[h.0 as usize];
+                let head = a.tx_queue.front_mut().expect("truncated span's worm queued");
+                debug_assert_eq!(head.worm, worm);
+                head.body_sent -= revoked;
+                a.counters.bytes_sent -= revoked;
             }
         }
     }
@@ -550,6 +848,9 @@ impl Network {
         match sym {
             CtrlSym::Stop => {
                 self.channels[ch.0 as usize].stopped = true;
+                if self.cfg.mode == SimMode::SpanBatched {
+                    self.truncate_spans(ch);
+                }
                 if self.cfg.trace {
                     self.trace
                         .push(self.scheduler.now(), TraceEvent::StopInForce { ch });

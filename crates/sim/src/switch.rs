@@ -455,6 +455,118 @@ impl Network {
         byte
     }
 
+    /// Span fast-path probe for the producer side of the channel leaving
+    /// output `out`: the length of the run of contiguous data bytes of the
+    /// forwarded worm at the owning input's buffer front, provided no
+    /// byte-timed side effect (a GO emission or a STOP crossing) could occur
+    /// while the run drains — those must happen at exact per-byte dequeue
+    /// and arrival times, so their mere possibility disables batching for
+    /// this kick.
+    pub(crate) fn switch_span_ready(&self, sw: SwitchId, out: u8) -> Option<(WormId, u64)> {
+        let swr = &self.switches[sw.0 as usize];
+        let owner = swr.outputs[out as usize].owner?;
+        let inp = &swr.inputs[owner as usize];
+        let InState::Forwarding { worm, out: o } = &inp.state else {
+            return None;
+        };
+        let worm = *worm;
+        if *o != out {
+            return None;
+        }
+        // A pending GO must go out at the exact dequeue that crosses the low
+        // watermark; batching the dequeues would move it.
+        if inp.sent_stop {
+            return None;
+        }
+        // Upstream arrivals land during the drain window. Dequeues (batched
+        // or per-byte) only lower occupancy, and at most one arrival per
+        // byte-time can land, so `occupancy + wire_bytes` bounds occupancy
+        // throughout the window in both modes; below the stop mark, neither
+        // mode can emit a STOP while the run drains.
+        let wire = inp
+            .chan_in
+            .map(|c| self.channels[c.0 as usize].in_flight as u64)
+            .unwrap_or(0);
+        if inp.occupancy() as u64 + wire >= inp.slack.stop_mark as u64 {
+            return None;
+        }
+        let run = inp
+            .buf
+            .iter()
+            .take_while(|b| b.worm == worm && matches!(b.kind, ByteKind::Data))
+            .count() as u64;
+        if run == 0 {
+            None
+        } else {
+            Some((worm, run))
+        }
+    }
+
+    /// Span fast-path check for a receiving switch input: how many bytes can
+    /// land (in one event, plus everything already on the wire) while
+    /// provably staying below the STOP watermark for the whole per-byte
+    /// delivery window. `wire` is the byte count already in flight on the
+    /// incoming channel.
+    pub(crate) fn switch_span_room(&self, sw: SwitchId, port: u8, wire: u64) -> Option<u64> {
+        let inp = &self.switches[sw.0 as usize].inputs[port as usize];
+        // With a STOP in force the per-byte GO/STOP interplay is exact;
+        // stay on the slow path until it clears.
+        if inp.sent_stop {
+            return None;
+        }
+        let used = inp.occupancy() as u64 + wire;
+        let mark = inp.slack.stop_mark as u64;
+        // Strictly below the mark even after all `wire + k` bytes land with
+        // no dequeue: occupancy can never cross it in either mode.
+        if used + 1 >= mark {
+            None
+        } else {
+            Some(mark - used - 1)
+        }
+    }
+
+    /// A batched run of `len` data bytes of `worm` arrived at input `port`
+    /// (span-batched mode). The emission guards guarantee the run fits below
+    /// the STOP watermark; the bytes are buffered in one go and the input
+    /// state machine advances once.
+    pub(crate) fn switch_rx_span(&mut self, sw: SwitchId, port: u8, worm: WormId, len: u64) {
+        let (chan_in, crossed_stop) = {
+            let inp = &mut self.switches[sw.0 as usize].inputs[port as usize];
+            debug_assert!(
+                inp.occupancy() as u64 + len <= inp.slack.capacity as u64,
+                "span overflows slack buffer at {sw:?}:{port}"
+            );
+            for _ in 0..len {
+                inp.buf.push_back(WireByte {
+                    worm,
+                    kind: ByteKind::Data,
+                });
+            }
+            let crossed = inp.occupancy() >= inp.slack.stop_mark && !inp.sent_stop;
+            if crossed {
+                inp.sent_stop = true;
+            }
+            (inp.chan_in, crossed)
+        };
+        // The emission guard makes a crossing impossible; keep the STOP
+        // behavior anyway so a guard bug degrades to legal (if no longer
+        // byte-exact) backpressure rather than buffer overflow.
+        debug_assert!(
+            !crossed_stop,
+            "span delivery crossed the STOP mark at {sw:?}:{port} — emission guard failed"
+        );
+        if crossed_stop {
+            if let Some(ch) = chan_in {
+                let delay = self.channels[ch.0 as usize].delay;
+                self.scheduler.after(delay, Event::CtrlRx {
+                    ch,
+                    sym: CtrlSym::Stop,
+                });
+            }
+        }
+        self.switch_advance_input(sw, port);
+    }
+
     /// Common post-dequeue bookkeeping for a switch input: send GO when the
     /// buffer has drained below the low watermark.
     pub(crate) fn after_slack_dequeue(&mut self, sw: SwitchId, port: u8) {

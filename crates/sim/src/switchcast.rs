@@ -321,6 +321,14 @@ use crate::switch::InState;
 use crate::worm::{ByteKind, WireByte, WormKind};
 
 impl Network {
+    /// Whether the span-batched fast path may run at all. Switch-level
+    /// multicast makes byte-level interleaving observable (replication
+    /// branch points, IDLE fill, Backward Reset flushes), so any mode other
+    /// than `Off` forces per-byte transmission everywhere.
+    pub(crate) fn switchcast_allows_spans(&self) -> bool {
+        matches!(self.cfg.switchcast, SwitchcastMode::Off)
+    }
+
     /// A `SwitchMulticast` worm's head reached the front of an idle input:
     /// decide between a plain transit hop (single leading port byte) and a
     /// replication directive, and set up the state machine.

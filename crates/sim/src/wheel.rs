@@ -67,6 +67,10 @@ pub struct TimingWheel<T> {
     seq: u64,
     overflow: BinaryHeap<Reverse<Overflow<T>>>,
     len: usize,
+    /// Lifetime counter of `push` calls (engine cost metric).
+    pushed: u64,
+    /// Lifetime counter of successful `pop` calls.
+    popped: u64,
 }
 
 impl<T> Default for TimingWheel<T> {
@@ -86,7 +90,19 @@ impl<T> TimingWheel<T> {
             seq: 0,
             overflow: BinaryHeap::new(),
             len: 0,
+            pushed: 0,
+            popped: 0,
         }
+    }
+
+    /// Total items ever scheduled through this wheel.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Total items ever popped from this wheel.
+    pub fn popped(&self) -> u64 {
+        self.popped
     }
 
     /// Number of pending items.
@@ -116,6 +132,7 @@ impl<T> TimingWheel<T> {
         let seq = self.seq;
         self.seq += 1;
         self.len += 1;
+        self.pushed += 1;
         if time - self.now < WHEEL_SLOTS as u64 {
             let slot = (time as usize) & (WHEEL_SLOTS - 1);
             self.slots[slot].push((time, seq, item));
@@ -161,6 +178,7 @@ impl<T> TimingWheel<T> {
                 let (time, _seq, item) = due.swap_remove(best);
                 debug_assert_eq!(time, self.now);
                 self.len -= 1;
+                self.popped += 1;
                 return Some((time, item));
             }
             // Nothing due now: jump the clock. If the overflow heap's head is
@@ -298,7 +316,7 @@ mod tests {
         let mut now = 0u64;
         for _ in 0..20_000 {
             if rng.gen_bool(0.6) || w.is_empty() {
-                let ahead = if rng.gen_bool(0.9) {
+                let ahead: u64 = if rng.gen_bool(0.9) {
                     rng.gen_range(0..64)
                 } else {
                     rng.gen_range(0..100_000)

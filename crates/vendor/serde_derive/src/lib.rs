@@ -1,0 +1,454 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! `syn`/`quote` are not available offline, so this macro walks the raw
+//! `proc_macro::TokenTree` stream directly and emits generated impls by
+//! formatting source text. Supported shapes (everything this workspace
+//! derives): named-field structs, unit structs, tuple structs (newtype
+//! serializes transparently, wider tuples as arrays), and externally-tagged
+//! enums with unit / tuple / struct variants. The only honored container
+//! attribute is `#[serde(rename_all = "kebab-case")]`; other `#[serde(...)]`
+//! attributes are rejected loudly rather than silently ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated impl parses")
+}
+
+// -- parsed model -----------------------------------------------------------
+
+enum Body {
+    Unit,
+    /// Tuple struct / variant: just the arity.
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    body: Body,
+}
+
+enum Kind {
+    Struct(Body),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kebab: bool,
+    kind: Kind,
+}
+
+// -- token walking ----------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut kebab = false;
+    let mut i = 0;
+
+    // Leading attributes (doc comments, #[serde(...)], other derives' helpers).
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    kebab |= attr_is_kebab(&g.stream());
+                    i += 2;
+                } else {
+                    panic!("malformed attribute");
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let is_enum = match &tokens[i] {
+        TokenTree::Ident(id) if id.to_string() == "struct" => false,
+        TokenTree::Ident(id) if id.to_string() == "enum" => true,
+        other => panic!("expected struct or enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive stand-in does not support generic types (on `{name}`)");
+    }
+
+    let kind = if is_enum {
+        let body = match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("expected enum body, found {other}"),
+        };
+        Kind::Enum(parse_variants(body))
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Body::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Body::Tuple(count_top_level(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Body::Unit),
+            other => panic!("expected struct body, found {other:?}"),
+        }
+    };
+
+    Item { name, kebab, kind }
+}
+
+/// True iff the attribute body is `serde(rename_all = "kebab-case")`;
+/// panics on any *other* `serde(...)` attribute so unsupported serde
+/// features fail the build instead of changing wire formats silently.
+fn attr_is_kebab(body: &TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false, // some other attribute (doc, derive helper...)
+    }
+    let inner = match tokens.get(1) {
+        Some(TokenTree::Group(g)) => g.stream().to_string(),
+        _ => panic!("bare #[serde] attribute is not supported"),
+    };
+    let flat: String = inner.chars().filter(|c| !c.is_whitespace()).collect();
+    if flat == "rename_all=\"kebab-case\"" {
+        true
+    } else {
+        panic!("unsupported serde attribute: #[serde({inner})]");
+    }
+}
+
+/// Split a token list on top-level commas, treating `<...>` nesting as
+/// opaque (groups are already single trees; only angle brackets need depth
+/// tracking).
+fn split_top_commas(body: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle = 0i32;
+    for t in body {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn count_top_level(body: TokenStream) -> usize {
+    split_top_commas(body).len()
+}
+
+/// Strip leading attributes and a visibility modifier from a field/variant
+/// token run.
+fn strip_attrs_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    &tokens[i..]
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    split_top_commas(body)
+        .into_iter()
+        .filter_map(|field| {
+            let field = strip_attrs_vis(&field);
+            match field.first() {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                None => None, // trailing comma
+                other => panic!("expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    split_top_commas(body)
+        .into_iter()
+        .filter_map(|var| {
+            let var = strip_attrs_vis(&var);
+            let name = match var.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                None => return None, // trailing comma
+                other => panic!("expected variant name, found {other:?}"),
+            };
+            let body = match var.get(1) {
+                None => Body::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Body::Tuple(count_top_level(g.stream()))
+                }
+                other => panic!("unsupported variant shape after `{name}`: {other:?}"),
+            };
+            Some(Variant { name, body })
+        })
+        .collect()
+}
+
+// -- naming -----------------------------------------------------------------
+
+/// serde's `kebab-case` rule: fields `a_b` → `a-b`, variants `AbCd` → `ab-cd`
+/// (digits stay attached to the preceding word).
+fn kebab_field(name: &str) -> String {
+    name.replace('_', "-")
+}
+
+fn kebab_variant(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('-');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+impl Item {
+    fn field_key(&self, field: &str) -> String {
+        if self.kebab {
+            kebab_field(field)
+        } else {
+            field.to_string()
+        }
+    }
+
+    fn variant_key(&self, variant: &str) -> String {
+        if self.kebab {
+            kebab_variant(variant)
+        } else {
+            variant.to_string()
+        }
+    }
+}
+
+// -- code generation --------------------------------------------------------
+
+fn named_to_object(item: &Item, fields: &[String], accessor: impl Fn(&str) -> String) -> String {
+    let pairs: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "({:?}.to_string(), ::serde::Serialize::to_value(&{}))",
+                item.field_key(f),
+                accessor(f)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Body::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Struct(Body::Tuple(1)) => {
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Kind::Struct(Body::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Body::Named(fields)) => {
+            named_to_object(item, fields, |f| format!("self.{f}"))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let key = item.variant_key(&v.name);
+                    let vn = &v.name;
+                    match &v.body {
+                        Body::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str({key:?}.to_string()),"
+                        ),
+                        Body::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Object(vec![({key:?}\
+                             .to_string(), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        Body::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("f{i}")).collect();
+                            let vals: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![({key:?}\
+                                 .to_string(), ::serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                        Body::Named(fields) => {
+                            let obj = named_to_object(item, fields, |f| f.to_string());
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Object(vec![\
+                                 ({key:?}.to_string(), {obj})]),",
+                                fields.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Body::Unit) => format!("let _ = v; Ok({name})"),
+        Kind::Struct(Body::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Kind::Struct(Body::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = ::serde::__private::tuple_items(v, {n})?;\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::Struct(Body::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::__private::de_field(v, {:?})?",
+                        item.field_key(f)
+                    )
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.body, Body::Unit))
+                .map(|v| {
+                    format!(
+                        "{:?} => return Ok({name}::{}),",
+                        item.variant_key(&v.name),
+                        v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let key = item.variant_key(&v.name);
+                    let vn = &v.name;
+                    match &v.body {
+                        Body::Unit => format!("{key:?} => Ok({name}::{vn}),"),
+                        Body::Tuple(1) => format!(
+                            "{key:?} => Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(payload)?)),"
+                        ),
+                        Body::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&items[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "{key:?} => {{ let items = \
+                                 ::serde::__private::tuple_items(payload, {n})?; \
+                                 Ok({name}::{vn}({})) }},",
+                                items.join(", ")
+                            )
+                        }
+                        Body::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::__private::de_field(payload, {:?})?",
+                                        item.field_key(f)
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{key:?} => Ok({name}::{vn} {{ {} }}),",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::serde::Value::Str(s) = v {{\n\
+                     match s.as_str() {{ {} _ => {{}} }}\n\
+                     return Err(::serde::DeError(format!(\
+                         \"unknown variant `{{s}}` for {name}\")));\n\
+                 }}\n\
+                 let (tag, payload) = ::serde::__private::enum_tag(v)?;\n\
+                 match tag {{ {} other => Err(::serde::DeError(format!(\
+                     \"unknown variant `{{other}}` for {name}\"))) }}",
+                unit_arms.join(" "),
+                tagged_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}

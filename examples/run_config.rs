@@ -10,6 +10,7 @@
 //! latency/throughput summaries plus the hottest links.
 
 use serde::{Deserialize, Serialize};
+use wormcast::sim::network::SimMode;
 use wormcast::sim::time::SimTime;
 use wormcast::stats::links::{hotspot_factor, link_loads};
 use wormcast::stats::latency::{latencies, Kind};
@@ -122,6 +123,7 @@ fn main() {
             },
             stop_at: None,
         },
+        mode: SimMode::SpanBatched,
         seed: cfg.seed,
         warmup: 0,
         generate_until: 0,
