@@ -16,7 +16,6 @@ use wormcast_bench::runner::{run_parallel, SimSetup};
 use wormcast_bench::Scheme;
 use wormcast_core::{HcConfig, UnicastRepeatConfig};
 use wormcast_sim::engine::HostId;
-use wormcast_sim::network::SimMode;
 use wormcast_topo::torus::torus;
 use wormcast_topo::tree::TreeShape;
 use wormcast_traffic::rng::host_stream;
@@ -69,25 +68,17 @@ fn main() {
             .map(|(_, scheme)| {
                 let mut grng = host_stream(0xAB3, 0x6071);
                 let groups = GroupSet::random(64, 10, 10, &mut grng);
-                SimSetup {
-                    topo: torus(8, 1),
-                    updown_root: 0,
-                    restrict_to_tree: false,
-                    groups,
-                    scheme: *scheme,
-                    workload: PaperWorkload {
-                        offered_load: load,
-                        multicast_prob: 0.10,
-                        lengths: LengthDist::Geometric { mean: 400 },
-                        stop_at: None,
-                    },
-                    mode: SimMode::SpanBatched,
-                    seed: 0xAB3,
-                    warmup: 0,
-                    generate_until: 0,
-                    drain_until: 0,
-                }
-                .windows(60_000, measure, drain)
+                let workload = PaperWorkload {
+                    offered_load: load,
+                    multicast_prob: 0.10,
+                    lengths: LengthDist::Geometric { mean: 400 },
+                    stop_at: None,
+                };
+                SimSetup::builder(torus(8, 1), groups, *scheme, workload)
+                    .seed(0xAB3)
+                    .windows(60_000, measure, drain)
+                    .build()
+                    .expect("valid setup")
             })
             .collect();
         let results = run_parallel(setups);

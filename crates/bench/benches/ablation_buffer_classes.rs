@@ -40,10 +40,8 @@ fn run(single_class: bool, load: f64, seed: u64) -> (f64, u64, u64, f64) {
     let topo = b.build();
     let ud = UpDown::compute(&topo, 0);
     let routes = ud.route_table(&topo, false);
-    let mut net = Network::build(&topo.to_fabric_spec(), routes, NetworkConfig {
-        seed,
-        ..NetworkConfig::default()
-    });
+    let cfg = NetworkConfig::builder().seed(seed).build().expect("valid config");
+    let mut net = Network::build(&topo.to_fabric_spec(), routes, cfg);
     let mut grng = host_stream(seed, 1);
     let groups = GroupSet::random(8, 1, 8, &mut grng);
     let membership = membership_of(&groups);

@@ -37,10 +37,8 @@ fn run(mode: Reliability, load: f64, measure: u64) -> (f64, f64, u64, u64) {
     let mut grng = host_stream(0xAB7, 0x6071);
     let groups = GroupSet::random(16, 4, 6, &mut grng);
     let membership = membership_of(&groups);
-    let mut net = Network::build(&topo.to_fabric_spec(), routes, NetworkConfig {
-        seed: 0xAB7,
-        ..NetworkConfig::default()
-    });
+    let net_cfg = NetworkConfig::builder().seed(0xAB7).build().expect("valid config");
+    let mut net = Network::build(&topo.to_fabric_spec(), routes, net_cfg);
     let cfg = HcConfig {
         reliability: mode,
         ..HcConfig::store_and_forward()

@@ -55,11 +55,12 @@ fn run(arm: &Arm, load: f64, measure: u64) -> (f64, f64, f64) {
         Some(SwitchcastVariant::Broadcast) | None => (SwitchcastMode::Off, false, false),
     };
     let routes = ud.route_table(&topo, restrict_net);
-    let mut net = Network::build(&topo.to_fabric_spec(), routes, NetworkConfig {
-        seed: 0xAB6,
-        switchcast: mode,
-        ..NetworkConfig::default()
-    });
+    let cfg = NetworkConfig::builder()
+        .seed(0xAB6)
+        .switchcast(mode)
+        .build()
+        .expect("valid config");
+    let mut net = Network::build(&topo.to_fabric_spec(), routes, cfg);
     match arm.variant {
         Some(variant) => {
             let mc_routes = ud.route_table(&topo, restrict_mc);

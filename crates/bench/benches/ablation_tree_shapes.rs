@@ -20,7 +20,6 @@
 
 use wormcast_bench::runner::{run_parallel, SimSetup};
 use wormcast_bench::Scheme;
-use wormcast_sim::network::SimMode;
 use wormcast_core::{Reliability, TreeConfig, TreeMode};
 use wormcast_topo::torus::torus;
 use wormcast_topo::tree::TreeShape;
@@ -58,33 +57,26 @@ fn main() {
                 configs.push((sname, mname));
                 let mut grng = host_stream(0xAB5, 0x6071);
                 let groups = GroupSet::random(64, 10, 10, &mut grng);
+                let scheme = Scheme::Tree(
+                    TreeConfig {
+                        mode,
+                        cut_through_first: false,
+                        reliability: Reliability::None,
+                    },
+                    shape,
+                );
+                let workload = PaperWorkload {
+                    offered_load: load,
+                    multicast_prob: 0.10,
+                    lengths: LengthDist::Geometric { mean: 400 },
+                    stop_at: None,
+                };
                 setups.push(
-                    SimSetup {
-                        topo: torus(8, 1),
-                        updown_root: 0,
-                        restrict_to_tree: false,
-                        groups,
-                        scheme: Scheme::Tree(
-                            TreeConfig {
-                                mode,
-                                cut_through_first: false,
-                                reliability: Reliability::None,
-                            },
-                            shape,
-                        ),
-                        workload: PaperWorkload {
-                            offered_load: load,
-                            multicast_prob: 0.10,
-                            lengths: LengthDist::Geometric { mean: 400 },
-                            stop_at: None,
-                        },
-                        mode: SimMode::SpanBatched,
-                        seed: 0xAB5,
-                        warmup: 0,
-                        generate_until: 0,
-                        drain_until: 0,
-                    }
-                    .windows(60_000, measure, drain),
+                    SimSetup::builder(torus(8, 1), groups, scheme, workload)
+                        .seed(0xAB5)
+                        .windows(60_000, measure, drain)
+                        .build()
+                        .expect("valid setup"),
                 );
             }
         }

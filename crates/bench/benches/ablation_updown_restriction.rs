@@ -13,7 +13,6 @@
 use wormcast_bench::runner::{run_parallel, SimSetup};
 use wormcast_bench::Scheme;
 use wormcast_core::HcConfig;
-use wormcast_sim::network::SimMode;
 use wormcast_topo::torus::torus;
 use wormcast_topo::UpDown;
 use wormcast_traffic::rng::host_stream;
@@ -43,25 +42,23 @@ fn main() {
         let mk = |restrict: bool| {
             let mut grng = host_stream(0xAB2, 0x6071);
             let groups = GroupSet::random(64, 10, 10, &mut grng);
-            SimSetup {
-                topo: torus(8, 1),
-                updown_root: 0,
-                restrict_to_tree: restrict,
+            let workload = PaperWorkload {
+                offered_load: load,
+                multicast_prob: 0.0, // unicast bandwidth cost
+                lengths: LengthDist::Geometric { mean: 400 },
+                stop_at: None,
+            };
+            SimSetup::builder(
+                torus(8, 1),
                 groups,
-                scheme: Scheme::Hc(HcConfig::store_and_forward()),
-                workload: PaperWorkload {
-                    offered_load: load,
-                    multicast_prob: 0.0, // unicast bandwidth cost
-                    lengths: LengthDist::Geometric { mean: 400 },
-                    stop_at: None,
-                },
-                mode: SimMode::SpanBatched,
-                seed: 0xAB2,
-                warmup: 0,
-                generate_until: 0,
-                drain_until: 0,
-            }
+                Scheme::Hc(HcConfig::store_and_forward()),
+                workload,
+            )
+            .restrict_to_tree(restrict)
+            .seed(0xAB2)
             .windows(60_000, measure, drain)
+            .build()
+            .expect("valid setup")
         };
         let results = run_parallel(vec![mk(false), mk(true)]);
         for (name, r) in ["unrestricted", "tree-only"].iter().zip(&results) {

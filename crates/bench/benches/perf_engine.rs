@@ -58,7 +58,7 @@ fn bench_simulation(c: &mut Criterion) {
             let ud = UpDown::compute(&topo, 0);
             let routes = ud.route_table(&topo, false);
             let mut net =
-                Network::build(&topo.to_fabric_spec(), routes, NetworkConfig::default());
+                Network::build(&topo.to_fabric_spec(), routes, NetworkConfig::builder().build().expect("valid config"));
             let mut grng = host_stream(1, 1);
             let groups = GroupSet::random(64, 10, 10, &mut grng);
             let membership = wormcast_bench::runner::membership_of(&groups);
@@ -116,12 +116,12 @@ struct EngineDump {
     rows: Vec<SchemeRow>,
 }
 
-fn mode_row(r: &runner::RunResult) -> ModeRow {
+fn mode_row(r: &runner::RunReport) -> ModeRow {
     ModeRow {
-        events_scheduled: r.stats.events_scheduled,
-        events_fired: r.stats.events_fired,
-        bytes_moved: r.stats.bytes_moved,
-        worms_delivered: r.stats.worms_delivered,
+        events_scheduled: r.stats().events_scheduled,
+        events_fired: r.stats().events_fired,
+        bytes_moved: r.stats().bytes_moved,
+        worms_delivered: r.stats().worms_delivered,
         multicast_deliveries: r.multicast.deliveries as u64,
     }
 }
@@ -144,7 +144,7 @@ fn bench_span_events(_c: &mut Criterion) {
         let mut per_byte = fig10::setup(scheme, load, &cfg);
         per_byte.mode = SimMode::PerByte;
         let span = fig10::setup(scheme, load, &cfg);
-        let [rb, rs]: [runner::RunResult; 2] = runner::run_parallel(vec![per_byte, span])
+        let [rb, rs]: [runner::RunReport; 2] = runner::run_parallel(vec![per_byte, span])
             .try_into()
             .expect("two results");
         let (b, s) = (mode_row(&rb), mode_row(&rs));

@@ -10,10 +10,9 @@
 //! everywhere; Hamiltonian cut-through below the tree at light load and
 //! above it at heavy load; the Hamiltonian curves saturate earlier.
 
-use crate::runner::{run_parallel, RunResult, SimSetup};
+use crate::runner::{run_parallel, RunReport, SimSetup};
 use crate::schemes::Scheme;
 use wormcast_core::{HcConfig, Reliability, TreeConfig, TreeMode};
-use wormcast_sim::network::SimMode;
 use wormcast_stats::Series;
 use wormcast_topo::torus::torus;
 use wormcast_topo::tree::TreeShape;
@@ -88,29 +87,21 @@ pub fn schemes() -> Vec<Scheme> {
 pub fn setup(scheme: Scheme, load: f64, cfg: &Fig10Config) -> SimSetup {
     let mut grng = host_stream(cfg.seed, 0x6071);
     let groups = GroupSet::random(64, 10, 10, &mut grng);
-    SimSetup {
-        topo: torus(8, 1),
-        updown_root: 0,
-        restrict_to_tree: false,
-        groups,
-        scheme,
-        workload: PaperWorkload {
-            offered_load: load,
-            multicast_prob: 0.10,
-            lengths: LengthDist::Geometric { mean: 400 },
-            stop_at: None,
-        },
-        mode: SimMode::SpanBatched,
-        seed: cfg.seed,
-        warmup: 0,
-        generate_until: 0,
-        drain_until: 0,
-    }
-    .windows(cfg.warmup, cfg.measure, cfg.drain)
+    let workload = PaperWorkload {
+        offered_load: load,
+        multicast_prob: 0.10,
+        lengths: LengthDist::Geometric { mean: 400 },
+        stop_at: None,
+    };
+    SimSetup::builder(torus(8, 1), groups, scheme, workload)
+        .seed(cfg.seed)
+        .windows(cfg.warmup, cfg.measure, cfg.drain)
+        .build()
+        .expect("figure 10 parameters are valid")
 }
 
 /// Run the full figure: one series per scheme, one point per load.
-pub fn run_figure(cfg: &Fig10Config) -> Vec<(Series, Vec<RunResult>)> {
+pub fn run_figure(cfg: &Fig10Config) -> Vec<(Series, Vec<RunReport>)> {
     schemes()
         .into_iter()
         .map(|scheme| {

@@ -11,10 +11,9 @@
 //! multicast worm is retransmitted several times, so raising the
 //! proportion raises the actual carried traffic).
 
-use crate::runner::{run_parallel, RunResult, SimSetup};
+use crate::runner::{run_parallel, RunReport, SimSetup};
 use crate::schemes::Scheme;
 use wormcast_core::HcConfig;
-use wormcast_sim::network::SimMode;
 use wormcast_stats::Series;
 use wormcast_topo::shufflenet::shufflenet24;
 use wormcast_traffic::rng::host_stream;
@@ -71,29 +70,21 @@ pub fn schemes() -> Vec<Scheme> {
 fn setup(scheme: Scheme, load: f64, proportion: f64, cfg: &Fig11Config) -> SimSetup {
     let mut grng = host_stream(cfg.seed, 0x6111);
     let groups = GroupSet::random(24, 4, 6, &mut grng);
-    SimSetup {
-        topo: shufflenet24(LINK_DELAY),
-        updown_root: 0,
-        restrict_to_tree: false,
-        groups,
-        scheme,
-        workload: PaperWorkload {
-            offered_load: load,
-            multicast_prob: proportion,
-            lengths: LengthDist::Geometric { mean: 400 },
-            stop_at: None,
-        },
-        mode: SimMode::SpanBatched,
-        seed: cfg.seed,
-        warmup: 0,
-        generate_until: 0,
-        drain_until: 0,
-    }
-    .windows(cfg.warmup, cfg.measure, cfg.drain)
+    let workload = PaperWorkload {
+        offered_load: load,
+        multicast_prob: proportion,
+        lengths: LengthDist::Geometric { mean: 400 },
+        stop_at: None,
+    };
+    SimSetup::builder(shufflenet24(LINK_DELAY), groups, scheme, workload)
+        .seed(cfg.seed)
+        .windows(cfg.warmup, cfg.measure, cfg.drain)
+        .build()
+        .expect("figure 11 parameters are valid")
 }
 
 /// Run the figure: one series per (proportion, scheme) pair.
-pub fn run_figure(cfg: &Fig11Config) -> Vec<(Series, Vec<RunResult>)> {
+pub fn run_figure(cfg: &Fig11Config) -> Vec<(Series, Vec<RunReport>)> {
     let mut out = Vec::new();
     for &prop in cfg.proportions {
         for scheme in schemes() {

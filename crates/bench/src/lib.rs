@@ -17,6 +17,10 @@ pub mod fig10;
 pub mod fig11;
 pub mod runner;
 pub mod schemes;
+pub mod trace_io;
 
-pub use runner::{RunResult, SimSetup};
+pub use runner::{run, run_parallel, run_traced, RunReport, SimSetup, SimSetupBuilder};
+#[allow(deprecated)]
+pub use runner::RunResult;
 pub use schemes::Scheme;
+pub use wormcast_sim::network::RunOutcome;

@@ -3,8 +3,11 @@
 use crate::schemes::Scheme;
 use std::sync::Arc;
 use wormcast_core::Membership;
-use wormcast_sim::network::{NetStats, NetworkConfig, SimMode};
+use wormcast_sim::config::ConfigError;
+use wormcast_sim::fault::FaultConfig;
+use wormcast_sim::network::{NetStats, NetworkConfig, RunOutcome, SimMode};
 use wormcast_sim::time::SimTime;
+use wormcast_sim::trace::{Trace, TraceConfig};
 use wormcast_sim::Network;
 use wormcast_stats::latency::{latencies, Kind, LatencyReport};
 use wormcast_topo::hostgraph::HostGraph;
@@ -13,6 +16,8 @@ use wormcast_traffic::workload::{install_paper_sources, PaperWorkload};
 use wormcast_traffic::GroupSet;
 
 /// One experiment point: topology + groups + scheme + workload + windows.
+/// Construct through [`SimSetup::builder`], which validates the whole
+/// configuration.
 pub struct SimSetup {
     pub topo: Topology,
     pub updown_root: usize,
@@ -30,9 +35,40 @@ pub struct SimSetup {
     pub generate_until: SimTime,
     /// The simulation then drains until this deadline.
     pub drain_until: SimTime,
+    /// Trace sink for the run (off by default; `Memory` lets
+    /// [`run_traced`] return the full lifecycle log).
+    pub trace: TraceConfig,
+    /// Fault injection, folded into the network configuration.
+    pub faults: FaultConfig,
 }
 
 impl SimSetup {
+    /// Start building an experiment point from its four mandatory parts.
+    pub fn builder(
+        topo: Topology,
+        groups: GroupSet,
+        scheme: Scheme,
+        workload: PaperWorkload,
+    ) -> SimSetupBuilder {
+        SimSetupBuilder {
+            setup: SimSetup {
+                topo,
+                updown_root: 0,
+                restrict_to_tree: false,
+                groups,
+                scheme,
+                workload,
+                mode: SimMode::SpanBatched,
+                seed: 0,
+                warmup: 0,
+                generate_until: 0,
+                drain_until: 0,
+                trace: TraceConfig::Off,
+                faults: FaultConfig::default(),
+            },
+        }
+    }
+
     /// Standard measurement windows around a target duration.
     pub fn windows(mut self, warmup: SimTime, measure: SimTime, drain: SimTime) -> Self {
         self.warmup = warmup;
@@ -40,11 +76,118 @@ impl SimSetup {
         self.drain_until = warmup + measure + drain;
         self
     }
+
+    /// The validated [`NetworkConfig`] this setup runs with.
+    fn network_config(&self) -> Result<NetworkConfig, ConfigError> {
+        NetworkConfig::builder()
+            .seed(self.seed)
+            .mode(self.mode)
+            .trace(self.trace)
+            .faults(self.faults)
+            .build()
+    }
 }
 
-/// Everything an experiment wants to know after a run.
+/// Builder for [`SimSetup`]; validates windows, workload rates and the
+/// derived network configuration in [`build`](SimSetupBuilder::build).
+pub struct SimSetupBuilder {
+    setup: SimSetup,
+}
+
+impl SimSetupBuilder {
+    /// Root switch of the up/down spanning tree.
+    pub fn updown_root(mut self, root: usize) -> Self {
+        self.setup.updown_root = root;
+        self
+    }
+
+    /// Restrict all routes to the spanning tree (Section 3 ablation).
+    pub fn restrict_to_tree(mut self, restrict: bool) -> Self {
+        self.setup.restrict_to_tree = restrict;
+        self
+    }
+
+    /// Engine transmission mode.
+    pub fn mode(mut self, mode: SimMode) -> Self {
+        self.setup.mode = mode;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.setup.seed = seed;
+        self
+    }
+
+    /// Standard measurement windows around a target duration.
+    pub fn windows(mut self, warmup: SimTime, measure: SimTime, drain: SimTime) -> Self {
+        self.setup = self.setup.windows(warmup, measure, drain);
+        self
+    }
+
+    /// Trace sink for the run.
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.setup.trace = trace;
+        self
+    }
+
+    /// Fault injection for the run.
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.setup.faults = faults;
+        self
+    }
+
+    /// Validate and produce the setup.
+    pub fn build(self) -> Result<SimSetup, ConfigError> {
+        let s = self.setup;
+        if s.updown_root >= s.topo.num_switches() {
+            return Err(ConfigError::Invalid {
+                field: "updown_root",
+                reason: format!(
+                    "root {} out of range for {} switches",
+                    s.updown_root,
+                    s.topo.num_switches()
+                ),
+            });
+        }
+        if !(s.warmup <= s.generate_until && s.generate_until <= s.drain_until) {
+            return Err(ConfigError::Invalid {
+                field: "windows",
+                reason: format!(
+                    "must be ordered warmup <= generate_until <= drain_until, got {} / {} / {}",
+                    s.warmup, s.generate_until, s.drain_until
+                ),
+            });
+        }
+        if !(0.0..=1.0).contains(&s.workload.offered_load) {
+            return Err(ConfigError::OutOfRange {
+                field: "offered_load",
+                value: s.workload.offered_load,
+                min: 0.0,
+                max: 1.0,
+            });
+        }
+        if !(0.0..=1.0).contains(&s.workload.multicast_prob) {
+            return Err(ConfigError::OutOfRange {
+                field: "multicast_prob",
+                value: s.workload.multicast_prob,
+                min: 0.0,
+                max: 1.0,
+            });
+        }
+        // Surface network-level violations (fault probability, trace ring
+        // capacity) now rather than as a panic inside `build_network`.
+        s.network_config()?;
+        Ok(s)
+    }
+}
+
+/// Everything an experiment wants to know after a run: the simulator's own
+/// [`RunOutcome`] plus the derived latency and delivery figures.
 #[derive(Clone, Debug)]
-pub struct RunResult {
+pub struct RunReport {
+    /// How the run ended (end time, drained flag, deadlock forensics,
+    /// final network counters).
+    pub outcome: RunOutcome,
     pub multicast: LatencyReport,
     pub unicast: LatencyReport,
     /// Measured mean output-link utilization per host (sanity check against
@@ -52,22 +195,30 @@ pub struct RunResult {
     /// retransmitted several times — the paper notes ~46% of transmitted
     /// worms were multicast at a 10% generation probability).
     pub host_tx_utilization: f64,
-    pub stats: NetStats,
     /// Fraction of expected multicast deliveries that completed by the end
     /// of the drain window (1.0 below saturation).
     pub delivery_ratio: f64,
 }
+
+impl RunReport {
+    /// The network counters at the end of the run.
+    pub fn stats(&self) -> &NetStats {
+        &self.outcome.stats
+    }
+}
+
+/// Former name of [`RunReport`], kept for one release.
+#[deprecated(note = "renamed to RunReport; statistics moved to `.outcome.stats` / `.stats()`")]
+pub type RunResult = RunReport;
 
 /// Build the network for a setup (shared with tests and examples).
 pub fn build_network(setup: &SimSetup) -> Network {
     let ud = UpDown::compute(&setup.topo, setup.updown_root);
     let routes = ud.route_table(&setup.topo, setup.restrict_to_tree);
     let graph = HostGraph::from_routes(&routes);
-    let cfg = NetworkConfig {
-        seed: setup.seed,
-        mode: setup.mode,
-        ..NetworkConfig::default()
-    };
+    let cfg = setup
+        .network_config()
+        .expect("SimSetup::builder validated this configuration");
     let mut net = Network::build(&setup.topo.to_fabric_spec(), routes, cfg);
     let membership = membership_of(&setup.groups);
     setup.scheme.install(&mut net, &membership, &graph);
@@ -85,10 +236,20 @@ pub fn membership_of(groups: &GroupSet) -> Arc<Membership> {
 }
 
 /// Run one experiment point to completion and extract statistics.
-pub fn run(setup: &SimSetup) -> RunResult {
+pub fn run(setup: &SimSetup) -> RunReport {
+    run_traced(setup).0
+}
+
+/// Like [`run`], but also hand back the worm-lifecycle [`Trace`] (empty
+/// unless the setup selected a sink). The bench JSONL writer and the
+/// trace-equivalence tests use this.
+pub fn run_traced(setup: &SimSetup) -> (RunReport, Trace) {
     let mut net = build_network(setup);
-    let out = net.run_until(setup.drain_until);
-    debug_assert!(out.deadlock.is_none(), "unexpected deadlock: {out:?}");
+    let outcome = net.run_until(setup.drain_until);
+    debug_assert!(
+        outcome.deadlock.is_none(),
+        "unexpected deadlock: {outcome:?}"
+    );
     net.audit().expect("conservation invariant");
     let membership = membership_of(&setup.groups);
     let multicast = latencies(
@@ -122,19 +283,21 @@ pub fn run(setup: &SimSetup) -> RunResult {
         multicast.deliveries as f64 / expected_total as f64
     };
     let elapsed = setup.drain_until;
-    RunResult {
+    let host_tx_utilization = net.mean_host_tx_utilization(elapsed);
+    let report = RunReport {
+        outcome,
         multicast,
         unicast,
-        host_tx_utilization: net.mean_host_tx_utilization(elapsed),
-        stats: net.stats.clone(),
+        host_tx_utilization,
         delivery_ratio,
-    }
+    };
+    (report, net.trace)
 }
 
 /// Run several setups concurrently, preserving order. At most
 /// `available_parallelism()` worker threads pull setups from a shared
 /// index, so a large sweep never oversubscribes the machine.
-pub fn run_parallel(setups: Vec<SimSetup>) -> Vec<RunResult> {
+pub fn run_parallel(setups: Vec<SimSetup>) -> Vec<RunReport> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
@@ -143,7 +306,7 @@ pub fn run_parallel(setups: Vec<SimSetup>) -> Vec<RunResult> {
         .unwrap_or(1)
         .min(setups.len().max(1));
     let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<RunResult>>> =
+    let results: Vec<Mutex<Option<RunReport>>> =
         setups.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {

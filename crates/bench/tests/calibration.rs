@@ -10,7 +10,6 @@ use wormcast_bench::runner::{build_network, membership_of};
 use wormcast_bench::{Scheme, SimSetup};
 use wormcast_core::{HcConfig, Reliability, TreeConfig, TreeMode};
 use wormcast_sim::protocol::{Destination, SourceMessage};
-use wormcast_sim::network::SimMode;
 use wormcast_topo::torus::torus;
 use wormcast_topo::tree::TreeShape;
 use wormcast_traffic::rng::host_stream;
@@ -20,24 +19,21 @@ use wormcast_traffic::{GroupSet, LengthDist};
 fn base_setup(load: f64, mcast: f64) -> (SimSetup, GroupSet) {
     let mut grng = host_stream(7, 0x6071);
     let groups = GroupSet::random(64, 10, 10, &mut grng);
-    let s = SimSetup {
-        topo: torus(8, 1),
-        updown_root: 0,
-        restrict_to_tree: false,
-        groups: groups.clone(),
-        scheme: Scheme::Tree(TreeConfig::store_and_forward(), TreeShape::BinaryHeap),
-        workload: PaperWorkload {
-            offered_load: load,
-            multicast_prob: mcast,
-            lengths: LengthDist::Geometric { mean: 400 },
-            stop_at: None,
-        },
-        mode: SimMode::SpanBatched,
-        seed: 7,
-        warmup: 0,
-        generate_until: 0,
-        drain_until: 0,
+    let workload = PaperWorkload {
+        offered_load: load,
+        multicast_prob: mcast,
+        lengths: LengthDist::Geometric { mean: 400 },
+        stop_at: None,
     };
+    let s = SimSetup::builder(
+        torus(8, 1),
+        groups.clone(),
+        Scheme::Tree(TreeConfig::store_and_forward(), TreeShape::BinaryHeap),
+        workload,
+    )
+    .seed(7)
+    .build()
+    .expect("valid setup");
     (s, groups)
 }
 

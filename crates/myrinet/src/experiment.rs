@@ -82,10 +82,10 @@ pub fn run_prototype(cfg: &PrototypeConfig) -> PrototypeResult {
     let topo = testbed_topology();
     let ud = UpDown::compute(&topo, 0);
     let routes = ud.route_table(&topo, false);
-    let net_cfg = NetworkConfig {
-        seed: cfg.seed,
-        ..NetworkConfig::default()
-    };
+    let net_cfg = NetworkConfig::builder()
+        .seed(cfg.seed)
+        .build()
+        .expect("valid config");
     let mut net = Network::build(&topo.to_fabric_spec(), routes, net_cfg);
     let circuit: Vec<HostId> = (0..NUM_HOSTS as u32).map(HostId).collect();
     // Let the pump stop early enough for in-flight worms to drain before

@@ -303,6 +303,12 @@ impl Network {
                 self.stats.active_worms -= 1;
                 if corrupt {
                     self.stats.worms_corrupt += 1;
+                    if self.trace.enabled() {
+                        self.trace.push(
+                            self.scheduler.now(),
+                            crate::trace::TraceEvent::WormCorrupt { worm, host },
+                        );
+                    }
                 } else {
                     self.adapter_kick_followers(host);
                     self.notify_worm_received(host, worm);
@@ -314,7 +320,18 @@ impl Network {
                 let a = &mut self.adapters[host.0 as usize];
                 if let RxState::Receiving { worm, body_got } = a.rx {
                     a.parked.insert(worm, body_got);
+                    if self.trace.enabled() {
+                        self.trace.push(
+                            self.scheduler.now(),
+                            crate::trace::TraceEvent::FragmentParked {
+                                worm,
+                                host,
+                                body_got,
+                            },
+                        );
+                    }
                 }
+                let a = &mut self.adapters[host.0 as usize];
                 a.rx = RxState::Idle;
                 a.counters.bytes_received += 1;
             }
@@ -323,6 +340,16 @@ impl Network {
                     let a = &mut self.adapters[host.0 as usize];
                     a.parked.remove(&worm).expect("parked")
                 };
+                if self.trace.enabled() {
+                    self.trace.push(
+                        self.scheduler.now(),
+                        crate::trace::TraceEvent::FragmentResumed {
+                            worm,
+                            host,
+                            body_got,
+                        },
+                    );
+                }
                 match byte.kind {
                     ByteKind::Tail => {
                         // Zero-data continuation carrying just the tail.
@@ -336,6 +363,16 @@ impl Network {
                             a.parked.insert(worm, body_got);
                             a.rx = RxState::Idle;
                             a.counters.bytes_received += 1;
+                            if self.trace.enabled() {
+                                self.trace.push(
+                                    self.scheduler.now(),
+                                    crate::trace::TraceEvent::FragmentParked {
+                                        worm,
+                                        host,
+                                        body_got,
+                                    },
+                                );
+                            }
                         }
                     }
                     _ => {

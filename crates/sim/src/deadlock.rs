@@ -24,10 +24,12 @@
 //! clean when they are followed.
 
 use crate::engine::{HostId, SwitchId};
-use crate::link::NodeRef;
+use crate::link::{ChanId, NodeRef};
 use crate::network::Network;
 use crate::switch::InState;
+use crate::worm::WormId;
 use std::collections::HashMap;
+use std::fmt;
 
 /// A vertex of the wait-for graph.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -38,53 +40,184 @@ pub enum WaitNode {
     HostTx(HostId),
 }
 
-/// A detected deadlock: one representative cycle, plus how many worms were
-/// outstanding at detection time.
+impl fmt::Display for WaitNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaitNode::SwitchIn(sw, p) => write!(f, "sw{}:in{}", sw.0, p),
+            WaitNode::HostTx(h) => write!(f, "host{}:tx", h.0),
+        }
+    }
+}
+
+/// Why one wait-for edge exists.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WaitCause {
+    /// The worm's head requested an output another input owns.
+    OutputHeldBy { switch: SwitchId, out: u8 },
+    /// The worm is forwarding into a channel with a STOP in force.
+    StoppedDownstream { ch: ChanId },
+    /// The worm has a hole: its next byte has not arrived from upstream.
+    StarvedUpstream { ch: ChanId },
+    /// A switchcast replica branch transmits into a STOPped channel.
+    BranchStopped { ch: ChanId },
+    /// The host's outgoing link itself has a STOP in force.
+    HostLinkStopped { ch: ChanId },
+}
+
+impl fmt::Display for WaitCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaitCause::OutputHeldBy { switch, out } => {
+                write!(f, "output sw{}:out{} held", switch.0, out)
+            }
+            WaitCause::StoppedDownstream { ch } => write!(f, "STOP in force on ch{}", ch.0),
+            WaitCause::StarvedUpstream { ch } => write!(f, "starved, waiting bytes on ch{}", ch.0),
+            WaitCause::BranchStopped { ch } => {
+                write!(f, "multicast branch STOPped on ch{}", ch.0)
+            }
+            WaitCause::HostLinkStopped { ch } => write!(f, "host link ch{} STOPped", ch.0),
+        }
+    }
+}
+
+/// One annotated edge of the wait-for graph: `from` cannot make progress
+/// until `to` does. `worm` is the blocked worm at `from`; `holds` is the
+/// worm currently occupying `to` (the one holding the contended resource).
+#[derive(Clone, Copy, Debug)]
+pub struct WaitEdge {
+    pub from: WaitNode,
+    pub to: WaitNode,
+    pub worm: Option<WormId>,
+    pub holds: Option<WormId>,
+    pub cause: WaitCause,
+}
+
+impl fmt::Display for WaitEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.from)?;
+        if let Some(w) = self.worm {
+            write!(f, " [worm {}]", w.0)?;
+        }
+        write!(f, " -> {}", self.to)?;
+        if let Some(w) = self.holds {
+            write!(f, " [holds worm {}]", w.0)?;
+        }
+        write!(f, ": {}", self.cause)
+    }
+}
+
+/// A detected deadlock (or a watchdog forensics snapshot): one
+/// representative cycle, the full annotated wait-for graph at detection
+/// time, and how many worms were outstanding. Its `Display` renders the
+/// human-readable dump.
 #[derive(Clone, Debug)]
 pub struct DeadlockReport {
     /// The wait cycle (empty when detection fired without a reconstructable
     /// cycle — e.g. stuck protocol state rather than fabric state).
     pub cycle: Vec<WaitNode>,
     pub stuck_worms: u64,
+    /// Every wait-for edge at detection time, annotated with the blocked
+    /// worm, the holding worm, and the blocking cause.
+    pub edges: Vec<WaitEdge>,
 }
 
-/// Identify the entity currently *producing* bytes into a switch input port:
-/// the upstream output's owner input, or the upstream host.
-fn upstream_producer(net: &Network, sw: SwitchId, port: u8) -> Option<WaitNode> {
-    let ch = net.switches[sw.0 as usize].inputs[port as usize].chan_in?;
-    let src = net.channels[ch.0 as usize].src;
-    match src.node {
-        NodeRef::Host(h) => Some(WaitNode::HostTx(h)),
-        NodeRef::Switch(up) => {
-            let owner = net.switches[up.0 as usize].outputs[src.port as usize].owner?;
-            Some(WaitNode::SwitchIn(up, owner))
+impl fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "deadlock forensics: {} stuck worm(s), {} wait-for edge(s)",
+            self.stuck_worms,
+            self.edges.len()
+        )?;
+        for e in &self.edges {
+            writeln!(f, "  {e}")?;
+        }
+        if self.cycle.is_empty() {
+            write!(f, "  no wait cycle reconstructed")
+        } else {
+            write!(f, "  cycle:")?;
+            for n in &self.cycle {
+                write!(f, " {n} ->")?;
+            }
+            write!(f, " {}", self.cycle[0])
         }
     }
 }
 
-/// Build the wait-for graph of the current network state.
-pub fn wait_graph(net: &Network) -> HashMap<WaitNode, Vec<WaitNode>> {
-    let mut g: HashMap<WaitNode, Vec<WaitNode>> = HashMap::new();
+/// The worm currently occupying a wait-for node, if any.
+fn node_worm(net: &Network, node: WaitNode) -> Option<WormId> {
+    match node {
+        WaitNode::SwitchIn(sw, p) => {
+            match &net.switches[sw.0 as usize].inputs[p as usize].state {
+                InState::Idle => None,
+                InState::Requesting { worm, .. }
+                | InState::Forwarding { worm, .. }
+                | InState::Draining { worm } => Some(*worm),
+                InState::Replicating(rep) => Some(rep.worm),
+            }
+        }
+        WaitNode::HostTx(h) => net.adapters[h.0 as usize].tx_queue.front().map(|t| t.worm),
+    }
+}
+
+/// Identify the entity currently *producing* bytes into a switch input port:
+/// the upstream output's owner input, or the upstream host.
+fn upstream_producer(net: &Network, sw: SwitchId, port: u8) -> Option<(WaitNode, ChanId)> {
+    let ch = net.switches[sw.0 as usize].inputs[port as usize].chan_in?;
+    let src = net.channels[ch.0 as usize].src;
+    match src.node {
+        NodeRef::Host(h) => Some((WaitNode::HostTx(h), ch)),
+        NodeRef::Switch(up) => {
+            let owner = net.switches[up.0 as usize].outputs[src.port as usize].owner?;
+            Some((WaitNode::SwitchIn(up, owner), ch))
+        }
+    }
+}
+
+/// Build the annotated wait-for edge list of the current network state —
+/// the forensics view the watchdog dumps when it trips.
+pub fn wait_edges(net: &Network) -> Vec<WaitEdge> {
+    let mut edges: Vec<WaitEdge> = Vec::new();
+    let mut push = |net: &Network, from: WaitNode, to: WaitNode, worm: Option<WormId>, cause| {
+        edges.push(WaitEdge {
+            from,
+            to,
+            worm,
+            holds: node_worm(net, to),
+            cause,
+        });
+    };
     for sw in &net.switches {
         for (pi, inp) in sw.inputs.iter().enumerate() {
             let me = WaitNode::SwitchIn(sw.id, pi as u8);
-            let mut edges = Vec::new();
             match &inp.state {
                 InState::Idle | InState::Draining { .. } => {}
-                InState::Requesting { out, .. } => {
+                InState::Requesting { out, worm } => {
                     if let Some(owner) = sw.outputs[*out as usize].owner {
-                        edges.push(WaitNode::SwitchIn(sw.id, owner));
+                        push(
+                            net,
+                            me,
+                            WaitNode::SwitchIn(sw.id, owner),
+                            Some(*worm),
+                            WaitCause::OutputHeldBy {
+                                switch: sw.id,
+                                out: *out,
+                            },
+                        );
                     }
                 }
                 InState::Forwarding { out, worm } => {
-                    let blocked_downstream = sw.outputs[*out as usize]
-                        .chan_out
-                        .is_some_and(|ch| net.channels[ch.0 as usize].stopped);
-                    if blocked_downstream {
-                        if let Some(ch) = sw.outputs[*out as usize].chan_out {
+                    if let Some(ch) = sw.outputs[*out as usize].chan_out {
+                        if net.channels[ch.0 as usize].stopped {
                             let dst = net.channels[ch.0 as usize].dst;
                             if let NodeRef::Switch(down) = dst.node {
-                                edges.push(WaitNode::SwitchIn(down, dst.port));
+                                push(
+                                    net,
+                                    me,
+                                    WaitNode::SwitchIn(down, dst.port),
+                                    Some(*worm),
+                                    WaitCause::StoppedDownstream { ch },
+                                );
                             }
                         }
                     }
@@ -94,8 +227,8 @@ pub fn wait_graph(net: &Network) -> HashMap<WaitNode, Vec<WaitNode>> {
                         Some(front) => front.worm != *worm,
                     };
                     if starved {
-                        if let Some(up) = upstream_producer(net, sw.id, pi as u8) {
-                            edges.push(up);
+                        if let Some((up, ch)) = upstream_producer(net, sw.id, pi as u8) {
+                            push(net, me, up, Some(*worm), WaitCause::StarvedUpstream { ch });
                         }
                     }
                 }
@@ -106,33 +239,54 @@ pub fn wait_graph(net: &Network) -> HashMap<WaitNode, Vec<WaitNode>> {
                             if net.channels[ch.0 as usize].stopped {
                                 let dst = net.channels[ch.0 as usize].dst;
                                 if let NodeRef::Switch(down) = dst.node {
-                                    edges.push(WaitNode::SwitchIn(down, dst.port));
+                                    push(
+                                        net,
+                                        me,
+                                        WaitNode::SwitchIn(down, dst.port),
+                                        Some(rep.worm),
+                                        WaitCause::BranchStopped { ch },
+                                    );
                                 }
                             }
                         }
                     }
                 }
             }
-            if !edges.is_empty() {
-                g.insert(me, edges);
-            }
         }
     }
     for a in &net.adapters {
-        if a.tx_queue.is_empty() {
+        let Some(head) = a.tx_queue.front() else {
             continue;
-        }
+        };
         if let Some(ch) = a.chan_out {
             let c = &net.channels[ch.0 as usize];
             if c.stopped {
                 if let NodeRef::Switch(sw) = c.dst.node {
-                    g.insert(
+                    push(
+                        net,
                         WaitNode::HostTx(a.id),
-                        vec![WaitNode::SwitchIn(sw, c.dst.port)],
+                        WaitNode::SwitchIn(sw, c.dst.port),
+                        Some(head.worm),
+                        WaitCause::HostLinkStopped { ch },
                     );
                 }
             }
         }
+    }
+    edges
+}
+
+/// Build the wait-for graph of the current network state (the adjacency
+/// view of [`wait_edges`]).
+pub fn wait_graph(net: &Network) -> HashMap<WaitNode, Vec<WaitNode>> {
+    graph_from_edges(&wait_edges(net))
+}
+
+/// Collapse an edge list into the adjacency map [`find_cycle`] consumes.
+pub fn graph_from_edges(edges: &[WaitEdge]) -> HashMap<WaitNode, Vec<WaitNode>> {
+    let mut g: HashMap<WaitNode, Vec<WaitNode>> = HashMap::new();
+    for e in edges {
+        g.entry(e.from).or_default().push(e.to);
     }
     g
 }
@@ -189,13 +343,29 @@ pub fn find_cycle(g: &HashMap<WaitNode, Vec<WaitNode>>) -> Option<Vec<WaitNode>>
     None
 }
 
-/// Analyze a network snapshot for a deadlock cycle.
+/// Analyze a network snapshot for a deadlock cycle. `Some` only when a
+/// genuine wait cycle exists (overload alone is not deadlock).
 pub fn analyze(net: &Network) -> Option<DeadlockReport> {
-    let g = wait_graph(net);
-    find_cycle(&g).map(|cycle| DeadlockReport {
+    let report = forensics(net);
+    if report.cycle.is_empty() {
+        None
+    } else {
+        Some(report)
+    }
+}
+
+/// Unconditional forensics snapshot: the full annotated wait-for graph, a
+/// representative cycle when one exists (empty otherwise — e.g. worms stuck
+/// in protocol state rather than fabric state), and the outstanding-worm
+/// count. The watchdog and the drained-queue deadlock check dump this.
+pub fn forensics(net: &Network) -> DeadlockReport {
+    let edges = wait_edges(net);
+    let cycle = find_cycle(&graph_from_edges(&edges)).unwrap_or_default();
+    DeadlockReport {
         cycle,
         stuck_worms: net.stats.active_worms.max(0) as u64,
-    })
+        edges,
+    }
 }
 
 #[cfg(test)]
@@ -257,6 +427,54 @@ mod tests {
         g.insert(n(1), vec![n(3)]);
         g.insert(n(2), vec![n(3)]);
         assert!(find_cycle(&g).is_none());
+    }
+
+    #[test]
+    fn report_display_names_worms_and_channels() {
+        let edge = WaitEdge {
+            from: WaitNode::SwitchIn(SwitchId(3), 2),
+            to: WaitNode::SwitchIn(SwitchId(4), 0),
+            worm: Some(WormId(17)),
+            holds: Some(WormId(9)),
+            cause: WaitCause::StoppedDownstream { ch: ChanId(12) },
+        };
+        let report = DeadlockReport {
+            cycle: vec![edge.from, edge.to],
+            stuck_worms: 2,
+            edges: vec![edge],
+        };
+        let dump = report.to_string();
+        assert!(dump.contains("2 stuck worm(s)"));
+        assert!(dump.contains("sw3:in2 [worm 17] -> sw4:in0 [holds worm 9]"));
+        assert!(dump.contains("STOP in force on ch12"));
+        assert!(dump.contains("cycle: sw3:in2 -> sw4:in0 -> sw3:in2"));
+    }
+
+    #[test]
+    fn report_display_without_cycle() {
+        let report = DeadlockReport {
+            cycle: Vec::new(),
+            stuck_worms: 1,
+            edges: Vec::new(),
+        };
+        assert!(report.to_string().contains("no wait cycle reconstructed"));
+    }
+
+    #[test]
+    fn graph_from_edges_groups_by_source() {
+        let mk = |from, to| WaitEdge {
+            from,
+            to,
+            worm: None,
+            holds: None,
+            cause: WaitCause::OutputHeldBy {
+                switch: SwitchId(0),
+                out: 0,
+            },
+        };
+        let g = graph_from_edges(&[mk(n(0), n(1)), mk(n(0), n(2)), mk(n(1), n(2))]);
+        assert_eq!(g[&n(0)].len(), 2);
+        assert_eq!(g[&n(1)], vec![n(2)]);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! the destination adapter and is silently discarded — exactly how a link
 //! error manifests on a real Myrinet.
 
+use crate::config::ConfigError;
 use crate::network::NetworkConfig;
 use serde::{Deserialize, Serialize};
 
@@ -22,6 +23,20 @@ pub struct FaultConfig {
 }
 
 impl FaultConfig {
+    /// Validating constructor: rejects probabilities outside [0, 1].
+    pub fn try_new(corrupt_prob: f64) -> Result<Self, ConfigError> {
+        if !(0.0..=1.0).contains(&corrupt_prob) {
+            return Err(ConfigError::OutOfRange {
+                field: "corrupt_prob",
+                value: corrupt_prob,
+                min: 0.0,
+                max: 1.0,
+            });
+        }
+        Ok(FaultConfig { corrupt_prob })
+    }
+
+    #[deprecated(note = "use `FaultConfig::try_new`, which returns a ConfigError instead of panicking")]
     pub fn new(corrupt_prob: f64) -> Self {
         assert!(
             (0.0..=1.0).contains(&corrupt_prob),
@@ -31,6 +46,7 @@ impl FaultConfig {
     }
 
     /// Apply these faults to a network configuration.
+    #[deprecated(note = "pass the FaultConfig to `NetworkConfigBuilder::faults` instead")]
     pub fn apply(&self, cfg: &mut NetworkConfig) {
         cfg.corrupt_prob = self.corrupt_prob;
     }
@@ -41,7 +57,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn applies_to_config() {
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
         let mut cfg = NetworkConfig::default();
         assert_eq!(cfg.corrupt_prob, 0.0);
         FaultConfig::new(0.25).apply(&mut cfg);
@@ -49,8 +66,17 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     #[should_panic(expected = "probability")]
-    fn rejects_out_of_range() {
+    fn deprecated_new_still_panics_out_of_range() {
         let _ = FaultConfig::new(1.5);
+    }
+
+    #[test]
+    fn try_new_validates() {
+        assert_eq!(FaultConfig::try_new(0.25).unwrap().corrupt_prob, 0.25);
+        assert!(FaultConfig::try_new(1.5).is_err());
+        assert!(FaultConfig::try_new(-0.1).is_err());
+        assert!(FaultConfig::try_new(f64::NAN).is_err());
     }
 }

@@ -30,6 +30,7 @@
 //! configuration replay the same event sequence byte for byte.
 
 pub mod adapter;
+pub mod config;
 pub mod deadlock;
 pub mod engine;
 pub mod fault;
@@ -43,9 +44,33 @@ pub mod trace;
 pub mod wheel;
 pub mod worm;
 
+pub use config::{ConfigError, NetworkConfigBuilder};
 pub use engine::{Event, Scheduler};
+pub use fault::FaultConfig;
 pub use network::{Network, NetworkConfig, RunOutcome};
 pub use protocol::{AdapterProtocol, Command, ProtocolCtx};
 pub use time::SimTime;
+pub use trace::{BlockCause, Trace, TraceConfig, TraceEvent};
 pub use worm::{ByteKind, RouteSym, WireByte, WormId, WormInstance, WormKind, WormMeta};
+
+/// One-stop imports for driving the simulator:
+/// `use wormcast_sim::prelude::*;`.
+pub mod prelude {
+    pub use crate::config::{ConfigError, NetworkConfigBuilder};
+    pub use crate::deadlock::DeadlockReport;
+    pub use crate::engine::{HostId, SwitchId};
+    pub use crate::fault::FaultConfig;
+    pub use crate::link::{ChanId, NodeRef};
+    pub use crate::network::{
+        FabricSpec, NetStats, Network, NetworkConfig, RunOutcome, SimMode,
+    };
+    pub use crate::protocol::{
+        AdapterProtocol, Admission, Command, Destination, ProtocolCtx, SendSpec, SourceMessage,
+    };
+    pub use crate::switch::SlackCfg;
+    pub use crate::switchcast::SwitchcastMode;
+    pub use crate::time::SimTime;
+    pub use crate::trace::{BlockCause, Trace, TraceConfig, TraceEvent};
+    pub use crate::worm::{MessageId, WormId};
+}
 

@@ -74,6 +74,13 @@ pub struct Channel {
     pub bytes_carried: u64,
     /// Total IDLE fill bytes carried (wasted bandwidth, Section 3).
     pub idles_carried: u64,
+    /// When the current STOP interval began, if one is in force.
+    pub stalled_since: Option<SimTime>,
+    /// Accumulated byte-times spent under STOP (closed intervals only; an
+    /// open interval is accounted by [`Channel::stall_time`]).
+    pub stall_total: SimTime,
+    /// Number of STOP intervals that began on this channel.
+    pub stalls: u64,
     /// Batched byte runs currently on the wire, in send order
     /// (span-batched mode only; empty in per-byte mode).
     pub spans: VecDeque<SpanInFlight>,
@@ -97,8 +104,30 @@ impl Channel {
             in_flight: 0,
             bytes_carried: 0,
             idles_carried: 0,
+            stalled_since: None,
+            stall_total: 0,
+            stalls: 0,
             spans: VecDeque::new(),
             kick_gen: 0,
+        }
+    }
+
+    /// Total byte-times this channel has spent under STOP, up to `now`
+    /// (includes the still-open interval, if any).
+    pub fn stall_time(&self, now: SimTime) -> SimTime {
+        self.stall_total
+            + self
+                .stalled_since
+                .map_or(0, |since| now.saturating_sub(since))
+    }
+
+    /// Fraction of the elapsed run this channel spent stalled by STOP
+    /// backpressure.
+    pub fn stall_fraction(&self, elapsed: SimTime) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.stall_time(elapsed) as f64 / elapsed as f64
         }
     }
 
@@ -135,6 +164,22 @@ mod tests {
             port: 0,
         };
         let _ = Channel::new(ChanId(0), ep, ep, 0, ChanId(1));
+    }
+
+    #[test]
+    fn stall_accounting_covers_open_intervals() {
+        let ep = Endpoint {
+            node: NodeRef::Switch(SwitchId(0)),
+            port: 0,
+        };
+        let mut ch = Channel::new(ChanId(0), ep, ep, 1, ChanId(1));
+        assert_eq!(ch.stall_time(100), 0);
+        ch.stall_total = 30;
+        assert_eq!(ch.stall_time(100), 30);
+        ch.stalled_since = Some(80);
+        assert_eq!(ch.stall_time(100), 50);
+        assert!((ch.stall_fraction(100) - 0.5).abs() < 1e-12);
+        assert_eq!(ch.stall_fraction(0), 0.0);
     }
 
     #[test]

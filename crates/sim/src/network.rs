@@ -11,7 +11,7 @@ use crate::protocol::{
 use crate::switch::{SlackCfg, Switch};
 use crate::switchcast::SwitchcastMode;
 use crate::time::SimTime;
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::{BlockCause, Trace, TraceConfig, TraceEvent};
 use crate::worm::{ByteKind, MessageId, WormId, WormInstance, WormMeta};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -118,8 +118,9 @@ pub struct NetworkConfig {
     /// see no byte movement while worms are outstanding, the run is declared
     /// deadlocked.
     pub watchdog_interval: SimTime,
-    /// Record a [`Trace`] of interesting events.
-    pub trace: bool,
+    /// Trace sink selection: [`TraceConfig::Off`] (the default, free),
+    /// an unbounded in-memory log, or a bounded ring.
+    pub trace: TraceConfig,
     /// Switch-level multicast mode (Section 3 of the paper). `Off` for all
     /// host-adapter experiments.
     pub switchcast: SwitchcastMode,
@@ -136,7 +137,7 @@ impl Default for NetworkConfig {
             seed: 0xC0FFEE,
             corrupt_prob: 0.0,
             watchdog_interval: 0,
-            trace: false,
+            trace: TraceConfig::Off,
             switchcast: SwitchcastMode::Off,
             mode: SimMode::SpanBatched,
         }
@@ -196,13 +197,17 @@ pub struct MessageLog {
     pub deliveries: Vec<Delivery>,
 }
 
-/// How a call to [`Network::run_until`] ended.
+/// How a call to [`Network::run_until`] ended. This is the one result
+/// shape shared by the simulator and the bench runner (which wraps it in
+/// its `RunReport` together with derived latency figures).
 #[derive(Clone, Debug)]
 pub struct RunOutcome {
     pub end_time: SimTime,
     /// The event queue drained before the deadline (finite workload done).
     pub drained: bool,
     pub deadlock: Option<DeadlockReport>,
+    /// Snapshot of the network counters when the run ended.
+    pub stats: NetStats,
 }
 
 /// The simulated network.
@@ -234,6 +239,13 @@ pub struct Network {
     cmd_scratch: Vec<Command>,
     pending_injects: i64,
     pending_timers: i64,
+    /// STOP/GO arrivals whose worm attribution is deferred to the end of
+    /// the current scheduler tick (`bool` is "STOP"). Crossbar/adapter
+    /// state is only guaranteed identical across [`SimMode`]s at whole
+    /// byte-time boundaries — resolving [`Self::channel_carried_worm`]
+    /// mid-tick would make the trace depend on intra-tick event order,
+    /// which the span engine deliberately changes.
+    pending_ctrl_trace: Vec<(SimTime, ChanId, bool)>,
     watchdog_last_bytes: u64,
     deadlock_seen: Option<DeadlockReport>,
     /// Deadline of the current `run_until` call. Span deliveries credit
@@ -344,6 +356,7 @@ impl Network {
         let fault_rng = SmallRng::seed_from_u64(seed_rng.gen());
 
         Network {
+            trace: Trace::new(cfg.trace),
             cfg,
             scheduler: Scheduler::new(),
             switches,
@@ -352,7 +365,6 @@ impl Network {
             worms: Vec::new(),
             stats: NetStats::default(),
             msgs: MessageLog::default(),
-            trace: Trace::default(),
             routes,
             corrupt_worms: HashSet::new(),
             sink_remaining: std::collections::HashMap::new(),
@@ -366,6 +378,7 @@ impl Network {
             cmd_scratch: Vec::new(),
             pending_injects: 0,
             pending_timers: 0,
+            pending_ctrl_trace: Vec::new(),
             watchdog_last_bytes: 0,
             deadlock_seen: None,
             run_deadline: 0,
@@ -480,16 +493,12 @@ impl Network {
         }
         loop {
             let Some((t, ev)) = self.scheduler.pop() else {
+                self.flush_ctrl_trace();
                 self.sync_event_stats();
                 // Queue drained: with outstanding worms this is a deadlock
                 // (nothing can ever move again).
                 let deadlock = if self.stats.active_worms > 0 {
-                    Some(
-                        crate::deadlock::analyze(self).unwrap_or_else(|| DeadlockReport {
-                            cycle: Vec::new(),
-                            stuck_worms: self.stats.active_worms as u64,
-                        }),
-                    )
+                    Some(crate::deadlock::forensics(self))
                 } else {
                     None
                 };
@@ -497,11 +506,18 @@ impl Network {
                     end_time: self.scheduler.now(),
                     drained: true,
                     deadlock,
+                    stats: self.stats.clone(),
                 };
             };
+            if let Some(&(t0, _, _)) = self.pending_ctrl_trace.first() {
+                if t > t0 {
+                    self.flush_ctrl_trace();
+                }
+            }
             match ev {
                 Event::Stop => {
                     if t >= t_end {
+                        self.flush_ctrl_trace();
                         self.sync_event_stats();
                         // Worms still outstanding at the deadline: check for
                         // a genuine wait cycle so callers can tell overload
@@ -517,6 +533,7 @@ impl Network {
                             end_time: t,
                             drained: self.is_quiescent(),
                             deadlock,
+                            stats: self.stats.clone(),
                         };
                     }
                 }
@@ -537,11 +554,7 @@ impl Network {
                         && self.stats.active_worms > 0
                         && self.deadlock_seen.is_none()
                     {
-                        self.deadlock_seen =
-                            Some(crate::deadlock::analyze(self).unwrap_or(DeadlockReport {
-                                cycle: Vec::new(),
-                                stuck_worms: self.stats.active_worms as u64,
-                            }));
+                        self.deadlock_seen = Some(crate::deadlock::forensics(self));
                     }
                     self.watchdog_last_bytes = self.stats.bytes_moved;
                     if !self.is_quiescent() {
@@ -632,6 +645,15 @@ impl Network {
         // Replication, IDLE fill and flushes (Section 3 machinery) make
         // byte-level interleaving observable; the fast path is off outright.
         if !self.switchcast_allows_spans() {
+            return false;
+        }
+        // A trace sink makes byte-level interleaving observable too: STOP
+        // watermark crossings depend on arrival-vs-dequeue order *within* a
+        // byte-time, which span batching legitimately permutes (worm-visible
+        // behavior is unchanged, but a crossing can appear or vanish). With
+        // tracing on, take the per-byte reference path so the emitted trace
+        // is byte-exact and identical across [`SimMode`]s (DESIGN.md §3.2).
+        if self.trace.enabled() {
             return false;
         }
         let (src, dst, wire) = {
@@ -845,26 +867,90 @@ impl Network {
     }
 
     fn handle_ctrl(&mut self, ch: ChanId, sym: CtrlSym) {
+        let now = self.scheduler.now();
         match sym {
             CtrlSym::Stop => {
-                self.channels[ch.0 as usize].stopped = true;
+                {
+                    let c = &mut self.channels[ch.0 as usize];
+                    c.stopped = true;
+                    // Stall-interval accounting runs whether or not tracing
+                    // is on; STOP/GO symbols are rare relative to bytes.
+                    if c.stalled_since.is_none() {
+                        c.stalled_since = Some(now);
+                        c.stalls += 1;
+                    }
+                }
                 if self.cfg.mode == SimMode::SpanBatched {
                     self.truncate_spans(ch);
                 }
-                if self.cfg.trace {
-                    self.trace
-                        .push(self.scheduler.now(), TraceEvent::StopInForce { ch });
+                if self.trace.enabled() {
+                    self.trace.push(now, TraceEvent::StopInForce { ch });
+                    self.pending_ctrl_trace.push((now, ch, true));
                 }
             }
             CtrlSym::Go => {
-                self.channels[ch.0 as usize].stopped = false;
-                if self.cfg.trace {
-                    self.trace
-                        .push(self.scheduler.now(), TraceEvent::GoReceived { ch });
+                {
+                    let c = &mut self.channels[ch.0 as usize];
+                    c.stopped = false;
+                    if let Some(since) = c.stalled_since.take() {
+                        c.stall_total += now - since;
+                    }
+                }
+                if self.trace.enabled() {
+                    self.trace.push(now, TraceEvent::GoReceived { ch });
+                    self.pending_ctrl_trace.push((now, ch, false));
                 }
                 self.kick_channel(ch);
             }
             CtrlSym::BackwardReset => self.switchcast_backward_reset(ch),
+        }
+    }
+
+    /// Resolve the deferred STOP/GO worm attributions queued during the
+    /// tick that just ended. Called when simulated time is about to
+    /// advance (and at run end), so [`Self::channel_carried_worm`] sees
+    /// end-of-tick state — identical in both [`SimMode`]s — rather than
+    /// whatever intra-tick event order the engine happened to use.
+    fn flush_ctrl_trace(&mut self) {
+        if self.pending_ctrl_trace.is_empty() {
+            return;
+        }
+        for i in 0..self.pending_ctrl_trace.len() {
+            let (t, ch, is_stop) = self.pending_ctrl_trace[i];
+            if let Some(worm) = self.channel_carried_worm(ch) {
+                let cause = BlockCause::StopBackpressure { ch };
+                let ev = if is_stop {
+                    TraceEvent::WormBlocked { worm, cause }
+                } else {
+                    TraceEvent::WormResumed { worm, cause }
+                };
+                self.trace.push(t, ev);
+            }
+        }
+        self.pending_ctrl_trace.clear();
+    }
+
+    /// The worm whose bytes the transmit side of `ch` is (or would be)
+    /// carrying right now — the worm a STOP on `ch` actually blocks.
+    /// Only meaningful at whole byte-time boundaries (see
+    /// [`Self::flush_ctrl_trace`]), where crossbar/adapter state is
+    /// identical in both [`SimMode`]s.
+    fn channel_carried_worm(&self, ch: ChanId) -> Option<WormId> {
+        let c = &self.channels[ch.0 as usize];
+        match c.src.node {
+            NodeRef::Switch(s) => {
+                let sw = &self.switches[s.0 as usize];
+                let owner = sw.outputs[c.src.port as usize].owner?;
+                match &sw.inputs[owner as usize].state {
+                    crate::switch::InState::Forwarding { worm, .. } => Some(*worm),
+                    crate::switch::InState::Replicating(rep) => Some(rep.worm),
+                    _ => None,
+                }
+            }
+            NodeRef::Host(h) => self.adapters[h.0 as usize]
+                .tx_queue
+                .front()
+                .map(|t| t.worm),
         }
     }
 
@@ -940,7 +1026,7 @@ impl Network {
             proto.on_header(&mut ctx, inst)
         };
         self.protocols[host.0 as usize] = Some(proto);
-        if admission == Admission::Refuse && self.cfg.trace {
+        if admission == Admission::Refuse && self.trace.enabled() {
             self.trace
                 .push(self.scheduler.now(), TraceEvent::WormRefused { worm, host });
         }
@@ -951,7 +1037,7 @@ impl Network {
 
     pub(crate) fn notify_worm_received(&mut self, host: HostId, worm: WormId) {
         self.stats.worms_delivered += 1;
-        if self.cfg.trace {
+        if self.trace.enabled() {
             self.trace
                 .push(self.scheduler.now(), TraceEvent::WormReceived { worm, host });
         }
@@ -1046,7 +1132,7 @@ impl Network {
                 Command::DeliverLocal { msg } => {
                     let at = self.scheduler.now();
                     self.msgs.deliveries.push(Delivery { msg, host, at });
-                    if self.cfg.trace {
+                    if self.trace.enabled() {
                         self.trace.push(at, TraceEvent::Delivered { msg, host });
                     }
                 }
@@ -1119,7 +1205,7 @@ impl Network {
         if self.cfg.corrupt_prob > 0.0 && self.fault_rng.gen_bool(self.cfg.corrupt_prob) {
             self.corrupt_worms.insert(id);
         }
-        if self.cfg.trace {
+        if self.trace.enabled() {
             self.trace
                 .push(now, TraceEvent::WormInjected { worm: id, host });
         }

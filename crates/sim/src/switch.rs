@@ -302,6 +302,16 @@ impl Network {
                         inp.buf.pop_front();
                         inp.state = InState::Requesting { worm, out };
                     }
+                    if self.trace.enabled() {
+                        self.trace.push(
+                            self.scheduler.now(),
+                            crate::trace::TraceEvent::RouteConsumed {
+                                worm,
+                                switch: sw,
+                                out,
+                            },
+                        );
+                    }
                     self.after_slack_dequeue(sw, port);
                     self.switch_request_output(sw, out, port);
                     // Whether granted or queued, nothing more to parse until
@@ -361,6 +371,35 @@ impl Network {
         };
         if granted {
             self.switch_grant(sw, out, in_port);
+        } else if self.trace.enabled() {
+            if let Some((worm, cause)) = self.blocked_requester(sw, out, in_port) {
+                self.trace.push(
+                    self.scheduler.now(),
+                    crate::trace::TraceEvent::WormBlocked { worm, cause },
+                );
+            }
+        }
+    }
+
+    /// The worm (and block cause) behind a queued output request: a plain
+    /// head waiting on a busy output, or a switchcast replica branch
+    /// waiting at its branching node.
+    fn blocked_requester(
+        &self,
+        sw: SwitchId,
+        out: u8,
+        in_port: u8,
+    ) -> Option<(WormId, crate::trace::BlockCause)> {
+        match &self.switches[sw.0 as usize].inputs[in_port as usize].state {
+            InState::Requesting { worm, .. } => Some((
+                *worm,
+                crate::trace::BlockCause::OutputBusy { switch: sw, out },
+            )),
+            InState::Replicating(rep) => Some((
+                rep.worm,
+                crate::trace::BlockCause::BranchWait { switch: sw, out },
+            )),
+            _ => None,
         }
     }
 
@@ -406,6 +445,14 @@ impl Network {
             }
         };
         if let Some(in_port) = next {
+            if self.trace.enabled() {
+                if let Some((worm, cause)) = self.blocked_requester(sw, out, in_port) {
+                    self.trace.push(
+                        self.scheduler.now(),
+                        crate::trace::TraceEvent::WormResumed { worm, cause },
+                    );
+                }
+            }
             self.switch_grant(sw, out, in_port);
         }
     }

@@ -967,10 +967,10 @@ impl Network {
         }
         self.stats.worms_flushed += 1;
         self.stats.active_worms -= 1;
-        if self.cfg.trace {
+        if self.trace.enabled() {
             let at = self.scheduler.now();
             self.trace
-                .push(at, crate::trace::TraceEvent::WormRefused { worm, host: injector });
+                .push(at, crate::trace::TraceEvent::WormFlushed { worm, host: injector });
         }
         self.notify_flushed(injector, worm);
     }

@@ -1,24 +1,93 @@
-//! Optional event tracing.
+//! Per-worm lifecycle tracing.
 //!
-//! When [`crate::NetworkConfig::trace`] is set, the network records a
-//! timeline of protocol-visible events. Examples use it to print per-hop
-//! timelines; tests use it to assert ordering properties (e.g. total
-//! ordering of multicast deliveries).
+//! When a [`TraceConfig`] other than [`TraceConfig::Off`] is selected (via
+//! [`crate::config::NetworkConfigBuilder::trace`]), the network records a
+//! structured timeline of every worm's life: injection, route-byte
+//! consumption at each switch, blocking (with the cause: STOP backpressure,
+//! a busy crossbar output, a switchcast branch wait), resumption, fragment
+//! park/resume (the V2 interrupt/resume scheme), Backward-Reset flushes
+//! (V3), reception, refusal, corruption, and application delivery — plus
+//! the channel-level STOP/GO timeline.
+//!
+//! # Determinism guarantee
+//!
+//! The trace is a pure function of seed and configuration, identical under
+//! [`crate::network::SimMode::PerByte`] and
+//! [`crate::network::SimMode::SpanBatched`]. Span batching preserves every
+//! worm-visible observable, but STOP-watermark crossings depend on
+//! arrival-versus-dequeue ordering *within* a byte-time, which batching
+//! legitimately permutes — so an attached trace sink disables the span
+//! fast path (exactly as switchcast replication does) and both modes step
+//! the per-byte reference engine. Events therefore occur at per-byte-exact
+//! times; only the processing order within one timestamp is incidental,
+//! and [`Trace::to_jsonl`] sorts lines by `(time, line)` so the rendered
+//! JSONL is byte-identical across modes (enforced by
+//! `tests/span_equivalence.rs`). Tracing costs the span speed-up while a
+//! sink is attached; with [`TraceConfig::Off`] the fast path is unchanged.
+//!
+//! # Cost when disabled
+//!
+//! With [`TraceConfig::Off`] every emission site reduces to one predicted
+//! branch on a cached boolean ([`Trace::enabled`]); nothing is allocated
+//! and no event is constructed.
 
-use crate::engine::HostId;
+use crate::engine::{HostId, SwitchId};
 use crate::link::ChanId;
 use crate::time::SimTime;
 use crate::worm::{MessageId, WormId};
+use serde::{Deserialize, Serialize};
+
+/// Trace sink selection.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceConfig {
+    /// No tracing; emission sites compile to a single branch.
+    #[default]
+    Off,
+    /// Record every event in memory (grows unbounded with the run).
+    Memory,
+    /// Keep only the most recent `capacity` events (oldest are dropped);
+    /// the sink tests and long soak runs use this.
+    Ring { capacity: usize },
+}
+
+/// Why a worm stopped making progress.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BlockCause {
+    /// STOP backpressure took effect on the channel the worm was
+    /// transmitting on.
+    StopBackpressure { ch: ChanId },
+    /// The worm's head is queued for a crossbar output another worm owns.
+    OutputBusy { switch: SwitchId, out: u8 },
+    /// A switchcast replica branch is queued for a busy output (Section 3:
+    /// this is where V1 fills IDLEs, V2 interrupts, V3 flushes).
+    BranchWait { switch: SwitchId, out: u8 },
+}
 
 /// One recorded event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A worm entered a transmit queue at `host`.
     WormInjected { worm: WormId, host: HostId },
+    /// A switch consumed the worm's head route byte and selected `out`.
+    RouteConsumed { worm: WormId, switch: SwitchId, out: u8 },
+    /// The worm stopped making progress; see [`BlockCause`].
+    WormBlocked { worm: WormId, cause: BlockCause },
+    /// The matching resumption (GO received, or the output was granted).
+    WormResumed { worm: WormId, cause: BlockCause },
     /// A worm was fully received (checksum good) at `host`.
     WormReceived { worm: WormId, host: HostId },
     /// A worm was refused admission (dropped) at `host`.
     WormRefused { worm: WormId, host: HostId },
+    /// A worm failed its checksum at `host` and was discarded.
+    WormCorrupt { worm: WormId, host: HostId },
+    /// A worm was evicted by a Backward Reset flush (V3); `host` is the
+    /// injector that will be told to retransmit.
+    WormFlushed { worm: WormId, host: HostId },
+    /// A fragment boundary parked a partial reception at `host` with
+    /// `body_got` body bytes reassembled so far (V2 interrupt/resume).
+    FragmentParked { worm: WormId, host: HostId, body_got: u64 },
+    /// A parked reception resumed reassembly at `host`.
+    FragmentResumed { worm: WormId, host: HostId, body_got: u64 },
     /// The protocol delivered `msg` to the local host.
     Delivered { msg: MessageId, host: HostId },
     /// A STOP took effect on the transmit side of `ch`.
@@ -27,14 +96,80 @@ pub enum TraceEvent {
     GoReceived { ch: ChanId },
 }
 
-/// An in-memory trace buffer.
-#[derive(Clone, Debug, Default)]
+impl TraceEvent {
+    /// The host this event concerns, if it is host-scoped.
+    fn host(&self) -> Option<HostId> {
+        match self {
+            TraceEvent::WormInjected { host, .. }
+            | TraceEvent::WormReceived { host, .. }
+            | TraceEvent::WormRefused { host, .. }
+            | TraceEvent::WormCorrupt { host, .. }
+            | TraceEvent::WormFlushed { host, .. }
+            | TraceEvent::FragmentParked { host, .. }
+            | TraceEvent::FragmentResumed { host, .. }
+            | TraceEvent::Delivered { host, .. } => Some(*host),
+            _ => None,
+        }
+    }
+}
+
+/// The trace recorder: a no-op when disabled, an in-memory log or a
+/// bounded ring otherwise.
+#[derive(Clone, Debug)]
 pub struct Trace {
+    cfg: TraceConfig,
+    enabled: bool,
     events: Vec<(SimTime, TraceEvent)>,
+    /// Events discarded by ring overflow.
+    dropped: u64,
+}
+
+impl Default for Trace {
+    /// An unbounded in-memory trace (what tests that poke [`Trace`]
+    /// directly want; a network's trace follows its [`TraceConfig`]).
+    fn default() -> Self {
+        Trace::new(TraceConfig::Memory)
+    }
 }
 
 impl Trace {
+    pub fn new(cfg: TraceConfig) -> Self {
+        Trace {
+            cfg,
+            enabled: !matches!(cfg, TraceConfig::Off),
+            events: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// True when events should be recorded. Emission sites guard on this;
+    /// it is a cached boolean load, so disabled tracing costs one
+    /// predictable branch per site.
+    #[inline(always)]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The sink configuration this recorder was built with.
+    pub fn config(&self) -> TraceConfig {
+        self.cfg
+    }
+
+    /// Events discarded by ring overflow (0 for the other sinks).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
     pub fn push(&mut self, at: SimTime, ev: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if let TraceConfig::Ring { capacity } = self.cfg {
+            if self.events.len() >= capacity {
+                self.events.remove(0);
+                self.dropped += 1;
+            }
+        }
         self.events.push((at, ev));
     }
 
@@ -52,13 +187,9 @@ impl Trace {
 
     /// All events concerning a particular host, in time order.
     pub fn for_host(&self, host: HostId) -> impl Iterator<Item = &(SimTime, TraceEvent)> {
-        self.events.iter().filter(move |(_, e)| match e {
-            TraceEvent::WormInjected { host: h, .. }
-            | TraceEvent::WormReceived { host: h, .. }
-            | TraceEvent::WormRefused { host: h, .. }
-            | TraceEvent::Delivered { host: h, .. } => *h == host,
-            _ => false,
-        })
+        self.events
+            .iter()
+            .filter(move |(_, e)| e.host() == Some(host))
     }
 
     /// The sequence of message deliveries observed at `host`, in time order.
@@ -71,6 +202,115 @@ impl Trace {
                 _ => None,
             })
             .collect()
+    }
+
+    /// Serialize the trace as JSON Lines, one event per line.
+    ///
+    /// Lines are sorted stably by `(time, line content)`: emission order
+    /// within one timestamp is the only thing that may differ between
+    /// [`crate::network::SimMode`]s, so the sorted output is byte-identical
+    /// for identical seed and configuration in both modes.
+    pub fn to_jsonl(&self) -> String {
+        let mut lines: Vec<(SimTime, String)> = self
+            .events
+            .iter()
+            .map(|(t, e)| (*t, jsonl_line(*t, e)))
+            .collect();
+        lines.sort();
+        let mut out = String::with_capacity(lines.iter().map(|(_, l)| l.len() + 1).sum());
+        for (_, line) in lines {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format one event as a JSONL line. Field order is fixed (`t`, `ev`,
+/// then event-specific fields) so the output is reproducible.
+pub fn jsonl_line(t: SimTime, ev: &TraceEvent) -> String {
+    use std::fmt::Write;
+    let mut s = String::with_capacity(64);
+    let _ = write!(s, "{{\"t\":{t},\"ev\":");
+    match ev {
+        TraceEvent::WormInjected { worm, host } => {
+            let _ = write!(s, "\"worm-injected\",\"worm\":{},\"host\":{}", worm.0, host.0);
+        }
+        TraceEvent::RouteConsumed { worm, switch, out } => {
+            let _ = write!(
+                s,
+                "\"route-consumed\",\"worm\":{},\"switch\":{},\"out\":{}",
+                worm.0, switch.0, out
+            );
+        }
+        TraceEvent::WormBlocked { worm, cause } => {
+            let _ = write!(s, "\"blocked\",\"worm\":{},", worm.0);
+            write_cause(&mut s, cause);
+        }
+        TraceEvent::WormResumed { worm, cause } => {
+            let _ = write!(s, "\"resumed\",\"worm\":{},", worm.0);
+            write_cause(&mut s, cause);
+        }
+        TraceEvent::WormReceived { worm, host } => {
+            let _ = write!(s, "\"worm-received\",\"worm\":{},\"host\":{}", worm.0, host.0);
+        }
+        TraceEvent::WormRefused { worm, host } => {
+            let _ = write!(s, "\"worm-refused\",\"worm\":{},\"host\":{}", worm.0, host.0);
+        }
+        TraceEvent::WormCorrupt { worm, host } => {
+            let _ = write!(s, "\"worm-corrupt\",\"worm\":{},\"host\":{}", worm.0, host.0);
+        }
+        TraceEvent::WormFlushed { worm, host } => {
+            let _ = write!(s, "\"worm-flushed\",\"worm\":{},\"host\":{}", worm.0, host.0);
+        }
+        TraceEvent::FragmentParked { worm, host, body_got } => {
+            let _ = write!(
+                s,
+                "\"fragment-parked\",\"worm\":{},\"host\":{},\"body_got\":{}",
+                worm.0, host.0, body_got
+            );
+        }
+        TraceEvent::FragmentResumed { worm, host, body_got } => {
+            let _ = write!(
+                s,
+                "\"fragment-resumed\",\"worm\":{},\"host\":{},\"body_got\":{}",
+                worm.0, host.0, body_got
+            );
+        }
+        TraceEvent::Delivered { msg, host } => {
+            let _ = write!(s, "\"delivered\",\"msg\":{},\"host\":{}", msg.0, host.0);
+        }
+        TraceEvent::StopInForce { ch } => {
+            let _ = write!(s, "\"stop\",\"ch\":{}", ch.0);
+        }
+        TraceEvent::GoReceived { ch } => {
+            let _ = write!(s, "\"go\",\"ch\":{}", ch.0);
+        }
+    }
+    s.push('}');
+    s
+}
+
+fn write_cause(s: &mut String, cause: &BlockCause) {
+    use std::fmt::Write;
+    match cause {
+        BlockCause::StopBackpressure { ch } => {
+            let _ = write!(s, "\"cause\":\"stop\",\"ch\":{}", ch.0);
+        }
+        BlockCause::OutputBusy { switch, out } => {
+            let _ = write!(
+                s,
+                "\"cause\":\"output-busy\",\"switch\":{},\"out\":{}",
+                switch.0, out
+            );
+        }
+        BlockCause::BranchWait { switch, out } => {
+            let _ = write!(
+                s,
+                "\"cause\":\"branch-wait\",\"switch\":{},\"out\":{}",
+                switch.0, out
+            );
+        }
     }
 }
 
@@ -108,5 +348,67 @@ mod tests {
         assert_eq!(t.for_host(HostId(3)).count(), 1);
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn off_sink_records_nothing() {
+        let mut t = Trace::new(TraceConfig::Off);
+        assert!(!t.enabled());
+        t.push(1, TraceEvent::StopInForce { ch: ChanId(0) });
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn ring_sink_drops_oldest() {
+        let mut t = Trace::new(TraceConfig::Ring { capacity: 2 });
+        for i in 0..5u32 {
+            t.push(i as SimTime, TraceEvent::WormInjected {
+                worm: WormId(i),
+                host: HostId(0),
+            });
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(t.events()[0].0, 3, "oldest surviving event");
+        assert_eq!(t.events()[1].0, 4);
+    }
+
+    #[test]
+    fn jsonl_sorts_within_timestamp() {
+        let mut t = Trace::default();
+        // Two events at the same time, pushed in "wrong" lexicographic
+        // order; to_jsonl must normalize.
+        t.push(7, TraceEvent::StopInForce { ch: ChanId(9) });
+        t.push(7, TraceEvent::GoReceived { ch: ChanId(1) });
+        let a = t.to_jsonl();
+        let mut t2 = Trace::default();
+        t2.push(7, TraceEvent::GoReceived { ch: ChanId(1) });
+        t2.push(7, TraceEvent::StopInForce { ch: ChanId(9) });
+        assert_eq!(a, t2.to_jsonl());
+        assert_eq!(a.lines().count(), 2);
+        assert!(a.starts_with("{\"t\":7,\"ev\":\"go\",\"ch\":1}\n"));
+    }
+
+    #[test]
+    fn jsonl_line_shapes() {
+        let line = jsonl_line(3, &TraceEvent::WormBlocked {
+            worm: WormId(4),
+            cause: BlockCause::OutputBusy {
+                switch: SwitchId(2),
+                out: 5,
+            },
+        });
+        assert_eq!(
+            line,
+            "{\"t\":3,\"ev\":\"blocked\",\"worm\":4,\"cause\":\"output-busy\",\"switch\":2,\"out\":5}"
+        );
+        let line = jsonl_line(9, &TraceEvent::WormResumed {
+            worm: WormId(4),
+            cause: BlockCause::StopBackpressure { ch: ChanId(1) },
+        });
+        assert_eq!(
+            line,
+            "{\"t\":9,\"ev\":\"resumed\",\"worm\":4,\"cause\":\"stop\",\"ch\":1}"
+        );
     }
 }

@@ -102,10 +102,11 @@ fn run_line(
     sends: &[(u8, u8, u32, u64)], // (src, dst, len, at)
 ) -> (Vec<(u64, u32, u64)>, Network) {
     let (spec, rt) = line_fabric(n, delay);
-    let mut net = Network::build(&spec, rt, NetworkConfig {
-        seed,
-        ..NetworkConfig::default()
-    });
+    let mut net = Network::build(
+        &spec,
+        rt,
+        NetworkConfig::builder().seed(seed).build().expect("valid config"),
+    );
     for h in 0..n as u32 {
         net.set_protocol(HostId(h), Box::new(Echoless));
     }

@@ -64,10 +64,14 @@ fn one_switch() -> (FabricSpec, RouteTable) {
 #[test]
 fn single_switch_replicates_to_both_host_ports() {
     let (spec, rt) = one_switch();
-    let mut net = Network::build(&spec, rt, NetworkConfig {
-        switchcast: SwitchcastMode::RestrictedIdle,
-        ..NetworkConfig::default()
-    });
+    let mut net = Network::build(
+        &spec,
+        rt,
+        NetworkConfig::builder()
+            .switchcast(SwitchcastMode::RestrictedIdle)
+            .build()
+            .expect("valid config"),
+    );
     let directive = Directive {
         branches: vec![(1, Subroute::Host), (2, Subroute::Host)],
     };
@@ -136,10 +140,14 @@ fn nested_directive_stamps_subtree_prefix() {
     rt.set(HostId(3), HostId(2), vec![1]);
     rt.set(HostId(2), HostId(1), vec![0, 1]);
     rt.set(HostId(3), HostId(1), vec![0, 1]);
-    let mut net = Network::build(&spec, rt, NetworkConfig {
-        switchcast: SwitchcastMode::RestrictedIdle,
-        ..NetworkConfig::default()
-    });
+    let mut net = Network::build(
+        &spec,
+        rt,
+        NetworkConfig::builder()
+            .switchcast(SwitchcastMode::RestrictedIdle)
+            .build()
+            .expect("valid config"),
+    );
     // From host 0: replicate at switch 0 to host 1 and to switch 1, where a
     // nested directive replicates to hosts 2 and 3.
     let directive = Directive {

@@ -1,0 +1,129 @@
+//! Blocked-time histograms from worm-lifecycle traces.
+//!
+//! The paper's three switchcast variants differ only in *where* blocked
+//! time accumulates (IDLE-filled branches vs. interrupt fragments vs. BRES
+//! flush-and-retry). This module pairs each `WormBlocked` event with its
+//! matching `WormResumed` from a [`Trace`] and buckets the interval
+//! lengths by cause, so a run can report "time lost to STOP backpressure"
+//! separately from "time queued for a busy crossbar output" and "time a
+//! multicast branch waited".
+
+use crate::histogram::LogHistogram;
+use std::collections::HashMap;
+use wormcast_sim::trace::{BlockCause, Trace, TraceEvent};
+use wormcast_sim::worm::WormId;
+
+/// Blocked-interval distributions, one histogram per block cause.
+#[derive(Clone, Debug, Default)]
+pub struct BlockedTimes {
+    /// Intervals spent stalled by STOP backpressure.
+    pub stop: LogHistogram,
+    /// Intervals spent queued for a busy crossbar output.
+    pub output_busy: LogHistogram,
+    /// Intervals a switchcast replica branch waited at its branching node.
+    pub branch_wait: LogHistogram,
+    /// `WormBlocked` events whose worm never resumed before the trace
+    /// ended (still blocked, flushed, or trace-ring-evicted pairs).
+    pub unresolved: u64,
+}
+
+impl BlockedTimes {
+    /// Total closed blocked intervals across all causes.
+    pub fn count(&self) -> u64 {
+        self.stop.count() + self.output_busy.count() + self.branch_wait.count()
+    }
+
+    fn for_cause(&mut self, cause: &BlockCause) -> &mut LogHistogram {
+        match cause {
+            BlockCause::StopBackpressure { .. } => &mut self.stop,
+            BlockCause::OutputBusy { .. } => &mut self.output_busy,
+            BlockCause::BranchWait { .. } => &mut self.branch_wait,
+        }
+    }
+}
+
+/// Pair blocked/resumed events and bucket the interval lengths by cause.
+///
+/// Pairing is keyed on `(worm, cause)`: a `WormResumed` closes the most
+/// recent open `WormBlocked` with the same worm and cause. Unmatched
+/// blocks are counted in [`BlockedTimes::unresolved`]; unmatched resumes
+/// (their block fell off a ring sink, or a GO arrived after the blocking
+/// worm's tail already cleared the channel) are ignored.
+pub fn blocked_times(trace: &Trace) -> BlockedTimes {
+    let mut out = BlockedTimes::default();
+    let mut open: HashMap<(WormId, BlockCause), Vec<u64>> = HashMap::new();
+    for (t, ev) in trace.events() {
+        match ev {
+            TraceEvent::WormBlocked { worm, cause } => {
+                open.entry((*worm, *cause)).or_default().push(*t);
+            }
+            TraceEvent::WormResumed { worm, cause } => {
+                if let Some(starts) = open.get_mut(&(*worm, *cause)) {
+                    if let Some(start) = starts.pop() {
+                        out.for_cause(cause).record(t.saturating_sub(start));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out.unresolved = open.values().map(|v| v.len() as u64).sum();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormcast_sim::engine::SwitchId;
+    use wormcast_sim::link::ChanId;
+
+    #[test]
+    fn pairs_by_worm_and_cause() {
+        let mut tr = Trace::default();
+        let w = WormId(1);
+        let stop = BlockCause::StopBackpressure { ch: ChanId(3) };
+        let busy = BlockCause::OutputBusy {
+            switch: SwitchId(0),
+            out: 2,
+        };
+        tr.push(100, TraceEvent::WormBlocked { worm: w, cause: stop });
+        tr.push(110, TraceEvent::WormBlocked { worm: w, cause: busy });
+        tr.push(150, TraceEvent::WormResumed { worm: w, cause: stop });
+        tr.push(500, TraceEvent::WormResumed { worm: w, cause: busy });
+        let bt = blocked_times(&tr);
+        assert_eq!(bt.stop.count(), 1);
+        assert_eq!(bt.stop.max(), 50);
+        assert_eq!(bt.output_busy.count(), 1);
+        assert_eq!(bt.output_busy.max(), 390);
+        assert_eq!(bt.branch_wait.count(), 0);
+        assert_eq!(bt.unresolved, 0);
+        assert_eq!(bt.count(), 2);
+    }
+
+    #[test]
+    fn unmatched_block_is_unresolved() {
+        let mut tr = Trace::default();
+        tr.push(7, TraceEvent::WormBlocked {
+            worm: WormId(0),
+            cause: BlockCause::BranchWait {
+                switch: SwitchId(1),
+                out: 0,
+            },
+        });
+        let bt = blocked_times(&tr);
+        assert_eq!(bt.count(), 0);
+        assert_eq!(bt.unresolved, 1);
+    }
+
+    #[test]
+    fn unmatched_resume_is_ignored() {
+        let mut tr = Trace::default();
+        tr.push(9, TraceEvent::WormResumed {
+            worm: WormId(0),
+            cause: BlockCause::StopBackpressure { ch: ChanId(0) },
+        });
+        let bt = blocked_times(&tr);
+        assert_eq!(bt.count(), 0);
+        assert_eq!(bt.unresolved, 0);
+    }
+}

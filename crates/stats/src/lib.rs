@@ -4,6 +4,7 @@
 //! loss rates, and (x, y) series formatted the way the paper's figures
 //! report them.
 
+pub mod blocking;
 pub mod histogram;
 pub mod latency;
 pub mod links;
@@ -12,6 +13,7 @@ pub mod series;
 pub mod summary;
 pub mod throughput;
 
+pub use blocking::{blocked_times, BlockedTimes};
 pub use histogram::LogHistogram;
 pub use latency::LatencyReport;
 pub use series::Series;

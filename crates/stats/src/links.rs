@@ -18,6 +18,10 @@ pub struct LinkLoad {
     pub utilization: f64,
     /// IDLE fill bytes per byte-time (switch-level multicast waste).
     pub idle_utilization: f64,
+    /// Fraction of the window this channel spent under STOP backpressure.
+    pub stall_fraction: f64,
+    /// Number of STOP intervals that began on this channel.
+    pub stalls: u64,
 }
 
 /// All channel loads, hottest first.
@@ -34,6 +38,8 @@ pub fn link_loads(net: &Network, elapsed: SimTime) -> Vec<LinkLoad> {
             } else {
                 c.idles_carried as f64 / elapsed as f64
             },
+            stall_fraction: c.stall_fraction(elapsed),
+            stalls: c.stalls,
         })
         .collect();
     out.sort_by(|a, b| b.utilization.partial_cmp(&a.utilization).expect("no NaN"));
@@ -74,10 +80,11 @@ mod tests {
             links: vec![],
             host_link_delay: 1,
         };
-        let net = Network::build(&spec, RouteTable::new(2), NetworkConfig::default());
+        let net = Network::build(&spec, RouteTable::new(2), NetworkConfig::builder().build().expect("valid config"));
         assert_eq!(hotspot_factor(&net, 1000), 1.0);
         let loads = link_loads(&net, 1000);
         assert_eq!(loads.len(), 4, "two hosts x two directions");
         assert!(loads.iter().all(|l| l.utilization == 0.0));
+        assert!(loads.iter().all(|l| l.stall_fraction == 0.0 && l.stalls == 0));
     }
 }

@@ -57,7 +57,7 @@ fn part1_fabric_deadlock() {
     }
     let groups = Membership::from_groups([(0u8, vec![HostId(0)])]);
     let run = |label: &str, routes: RouteTable| {
-        let mut net = Network::build(&topo.to_fabric_spec(), routes, NetworkConfig::default());
+        let mut net = Network::build(&topo.to_fabric_spec(), routes, NetworkConfig::builder().build().expect("valid config"));
         install_hc(&mut net, HcConfig::store_and_forward(), &groups);
         for src in 0..4u32 {
             install_one_shot(&mut net, HostId(src), 100, SourceMessage {
@@ -91,7 +91,7 @@ fn part2_buffer_deadlock() {
         let mut net = Network::build(
             &topo.to_fabric_spec(),
             ud.route_table(&topo, false),
-            NetworkConfig::default(),
+            NetworkConfig::builder().build().expect("valid config"),
         );
         let cfg = HcConfig {
             reliability: Reliability::AckNack(AckNackConfig {

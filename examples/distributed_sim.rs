@@ -34,7 +34,7 @@ fn run(scheme: &str) -> (f64, f64, bool) {
     let topo = torus(4, 1);
     let ud = UpDown::compute(&topo, 0);
     let routes = ud.route_table(&topo, false);
-    let mut net = Network::build(&topo.to_fabric_spec(), routes, NetworkConfig::default());
+    let mut net = Network::build(&topo.to_fabric_spec(), routes, NetworkConfig::builder().build().expect("valid config"));
     // One federation of 9 simulators spread over the 16 hosts.
     let members: Vec<HostId> = (0..16).step_by(2).take(9).map(HostId).collect();
     let groups = Membership::from_groups([(0u8, members.clone())]);

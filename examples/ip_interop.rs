@@ -47,7 +47,7 @@ fn main() {
     let mut net = Network::build(
         &topo.to_fabric_spec(),
         ud.route_table(&topo, false),
-        NetworkConfig::default(),
+        NetworkConfig::builder().build().expect("valid config"),
     );
     let groups = Membership::from_groups(map.required_myrinet_groups());
     for h in 0..9u32 {

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use wormcast::core::{HcConfig, HcProtocol, Membership};
 use wormcast::sim::engine::HostId;
 use wormcast::sim::protocol::{Destination, SourceMessage};
-use wormcast::sim::trace::TraceEvent;
+use wormcast::sim::trace::{TraceConfig, TraceEvent};
 use wormcast::sim::{Network, NetworkConfig};
 use wormcast::topo::{TopoBuilder, UpDown};
 use wormcast::traffic::script::install_one_shot;
@@ -29,10 +29,10 @@ fn main() {
     //    build the byte-level simulator.
     let updown = UpDown::compute(&topo, 0);
     let routes = updown.route_table(&topo, false);
-    let cfg = NetworkConfig {
-        trace: true,
-        ..NetworkConfig::default()
-    };
+    let cfg = NetworkConfig::builder()
+        .trace(TraceConfig::Memory)
+        .build()
+        .expect("valid config");
     let mut net = Network::build(&topo.to_fabric_spec(), routes, cfg);
 
     // 3. One multicast group of all four hosts; every host runs the

@@ -10,7 +10,6 @@
 //! latency/throughput summaries plus the hottest links.
 
 use serde::{Deserialize, Serialize};
-use wormcast::sim::network::SimMode;
 use wormcast::sim::time::SimTime;
 use wormcast::stats::links::{hotspot_factor, link_loads};
 use wormcast::stats::latency::{latencies, Kind};
@@ -109,27 +108,19 @@ fn main() {
     };
     let mut grng = host_stream(cfg.seed, 0xC0F1);
     let groups = GroupSet::random(topo.num_hosts(), cfg.groups, cfg.group_size, &mut grng);
-    let setup = SimSetup {
-        topo,
-        updown_root: 0,
-        restrict_to_tree: false,
-        groups,
-        scheme,
-        workload: PaperWorkload {
-            offered_load: cfg.offered_load,
-            multicast_prob: cfg.multicast_prob,
-            lengths: LengthDist::Geometric {
-                mean: cfg.mean_worm_bytes,
-            },
-            stop_at: None,
+    let workload = PaperWorkload {
+        offered_load: cfg.offered_load,
+        multicast_prob: cfg.multicast_prob,
+        lengths: LengthDist::Geometric {
+            mean: cfg.mean_worm_bytes,
         },
-        mode: SimMode::SpanBatched,
-        seed: cfg.seed,
-        warmup: 0,
-        generate_until: 0,
-        drain_until: 0,
-    }
-    .windows(cfg.warmup, cfg.measure, cfg.drain);
+        stop_at: None,
+    };
+    let setup = SimSetup::builder(topo, groups, scheme, workload)
+        .seed(cfg.seed)
+        .windows(cfg.warmup, cfg.measure, cfg.drain)
+        .build()
+        .expect("config file passed validation");
     let mut net = build_network(&setup);
     let out = net.run_until(setup.drain_until);
     assert!(out.deadlock.is_none(), "deadlock: {:?}", out.deadlock);

@@ -19,7 +19,7 @@ use wormcast::core::reliable::{AckNackConfig, Reliability};
 use wormcast::core::{HcConfig, HcProtocol, Membership};
 use wormcast::sim::engine::HostId;
 use wormcast::sim::protocol::{Destination, SourceMessage};
-use wormcast::sim::{Network, NetworkConfig};
+use wormcast::sim::{FaultConfig, Network, NetworkConfig};
 use wormcast::stats::summary::percentile;
 use wormcast::stats::LogHistogram;
 use wormcast::topo::torus::torus;
@@ -38,10 +38,13 @@ fn main() {
     let topo = torus(4, 1);
     let ud = UpDown::compute(&topo, 0);
     let routes = ud.route_table(&topo, false);
-    let mut net = Network::build(&topo.to_fabric_spec(), routes, NetworkConfig {
-        corrupt_prob: corrupt_percent / 100.0,
-        ..NetworkConfig::default()
-    });
+    let faults = FaultConfig::try_new(corrupt_percent / 100.0)
+        .expect("corruption percentage must be 0-100");
+    let cfg = NetworkConfig::builder()
+        .faults(faults)
+        .build()
+        .expect("valid config");
+    let mut net = Network::build(&topo.to_fabric_spec(), routes, cfg);
 
     let members: Vec<HostId> = vec![1, 3, 6, 9, 12, 14].into_iter().map(HostId).collect();
     let groups = Membership::from_groups([(0u8, members.clone())]);

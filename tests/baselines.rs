@@ -32,7 +32,7 @@ fn build(topo: &Topology) -> Network {
     Network::build(
         &topo.to_fabric_spec(),
         ud.route_table(topo, false),
-        NetworkConfig::default(),
+        NetworkConfig::builder().build().expect("valid config"),
     )
 }
 
@@ -146,10 +146,11 @@ fn watchdog_detects_deadlock_mid_run() {
             vec![cw_port[src], cw_port[(src + 1) % 4], 2],
         );
     }
-    let mut net = Network::build(&topo.to_fabric_spec(), routes, NetworkConfig {
-        watchdog_interval: 5_000,
-        ..NetworkConfig::default()
-    });
+    let cfg = NetworkConfig::builder()
+        .watchdog_interval(5_000)
+        .build()
+        .expect("valid config");
+    let mut net = Network::build(&topo.to_fabric_spec(), routes, cfg);
     let groups = Membership::from_groups([(0u8, vec![HostId(0)])]);
     for h in 0..4u32 {
         net.set_protocol(

@@ -76,7 +76,7 @@ fn cyclic_routes_deadlock_and_the_cycle_is_reconstructed() {
     let mut net = Network::build(
         &topo.to_fabric_spec(),
         clockwise_routes(),
-        NetworkConfig::default(),
+        NetworkConfig::builder().build().expect("valid config"),
     );
     install_plain_hc(&mut net);
     inject_cycle_traffic(&mut net);
@@ -94,6 +94,27 @@ fn cyclic_routes_deadlock_and_the_cycle_is_reconstructed() {
         net.stats.worms_delivered < 4,
         "not all worms may complete under a cyclic wait"
     );
+
+    // Forensics: the report carries annotated wait-for edges naming the
+    // blocked worms, the channels they wait on, and the worms holding them.
+    assert!(!report.edges.is_empty(), "forensics must list wait-for edges");
+    assert!(
+        report.edges.iter().any(|e| e.worm.is_some()),
+        "some edge must name the worm that is waiting: {report}"
+    );
+    assert!(
+        report.edges.iter().any(|e| e.holds.is_some()),
+        "some edge must name the worm holding the contended resource: {report}"
+    );
+    // The human-readable dump names switches, worms, and wait causes.
+    let dump = report.to_string();
+    assert!(dump.contains("deadlock forensics"), "dump header: {dump}");
+    assert!(dump.contains("worm"), "dump must name worms: {dump}");
+    assert!(dump.contains("cycle:"), "dump must render the cycle: {dump}");
+    assert!(
+        dump.contains("STOP in force on ch") || dump.contains("held"),
+        "dump must explain why each edge waits: {dump}"
+    );
 }
 
 #[test]
@@ -101,7 +122,7 @@ fn updown_routes_complete_the_same_traffic() {
     let topo = ring4();
     let ud = UpDown::compute(&topo, 0);
     let routes = ud.route_table(&topo, false);
-    let mut net = Network::build(&topo.to_fabric_spec(), routes, NetworkConfig::default());
+    let mut net = Network::build(&topo.to_fabric_spec(), routes, NetworkConfig::builder().build().expect("valid config"));
     install_plain_hc(&mut net);
     inject_cycle_traffic(&mut net);
     let out = net.run_until(1_000_000);
@@ -125,7 +146,7 @@ fn buffer_pressure_net(single_class: bool) -> Network {
     let topo = b.build();
     let ud = UpDown::compute(&topo, 0);
     let routes = ud.route_table(&topo, false);
-    let mut net = Network::build(&topo.to_fabric_spec(), routes, NetworkConfig::default());
+    let mut net = Network::build(&topo.to_fabric_spec(), routes, NetworkConfig::builder().build().expect("valid config"));
     let members: Vec<HostId> = (0..8).map(HostId).collect();
     let groups = Membership::from_groups([(0u8, members)]);
     let cfg = HcConfig {

@@ -23,7 +23,7 @@ fn build() -> (Network, Vec<Vec<u64>>) {
     let topo = b.build();
     let ud = UpDown::compute(&topo, 0);
     let routes = ud.route_table(&topo, false);
-    let mut net = Network::build(&topo.to_fabric_spec(), routes, NetworkConfig::default());
+    let mut net = Network::build(&topo.to_fabric_spec(), routes, NetworkConfig::builder().build().expect("valid config"));
     // Membership timeline (times in byte-times):
     //   t=100..: hosts 0, 2, 4 join
     //   t=20_000: host 5 joins
@@ -99,7 +99,7 @@ fn leave_of_unknown_member_is_harmless() {
     let mut net = Network::build(
         &topo.to_fabric_spec(),
         ud.route_table(&topo, false),
-        NetworkConfig::default(),
+        NetworkConfig::builder().build().expect("valid config"),
     );
     let mut mgr = ManagedHcProtocol::new(HostId(0), HostId(0));
     let t = mgr.script(GroupOp::Leave(GROUP));

@@ -4,6 +4,7 @@ use std::sync::Arc;
 use wormcast::core::{HcConfig, HcProtocol, Membership, TreeConfig, TreeProtocol};
 use wormcast::sim::engine::HostId;
 use wormcast::sim::protocol::{Destination, SourceMessage};
+use wormcast::sim::trace::TraceConfig;
 use wormcast::sim::{Network, NetworkConfig};
 use wormcast::topo::tree::{MulticastTree, TreeShape};
 use wormcast::topo::{TopoBuilder, Topology, UpDown};
@@ -22,13 +23,13 @@ fn ring4() -> Topology {
     b.build()
 }
 
-fn build_net(topo: &Topology, trace: bool) -> Network {
+fn build_net(topo: &Topology, trace: TraceConfig) -> Network {
     let ud = UpDown::compute(topo, 0);
     let routes = ud.route_table(topo, false);
-    let cfg = NetworkConfig {
-        trace,
-        ..NetworkConfig::default()
-    };
+    let cfg = NetworkConfig::builder()
+        .trace(trace)
+        .build()
+        .expect("valid config");
     Network::build(&topo.to_fabric_spec(), routes, cfg)
 }
 
@@ -42,7 +43,7 @@ fn install_hc(net: &mut Network, cfg: HcConfig, groups: &Arc<Membership>) {
 #[test]
 fn unicast_delivery_and_latency() {
     let topo = ring4();
-    let mut net = build_net(&topo, false);
+    let mut net = build_net(&topo, TraceConfig::Off);
     let groups = Membership::from_groups([(0u8, vec![HostId(0), HostId(2)])]);
     install_hc(&mut net, HcConfig::store_and_forward(), &groups);
     install_one_shot(&mut net, HostId(0), 100, SourceMessage {
@@ -71,10 +72,10 @@ fn all_pairs_unicast_conservation_and_determinism() {
         let topo = ring4();
         let ud = UpDown::compute(&topo, 0);
         let routes = ud.route_table(&topo, false);
-        let cfg = NetworkConfig {
-            seed,
-            ..NetworkConfig::default()
-        };
+        let cfg = NetworkConfig::builder()
+            .seed(seed)
+            .build()
+            .expect("valid config");
         let mut net = Network::build(&topo.to_fabric_spec(), routes, cfg);
         let groups = Membership::from_groups([(0u8, vec![HostId(0)])]);
         install_hc(&mut net, HcConfig::store_and_forward(), &groups);
@@ -110,7 +111,7 @@ fn all_pairs_unicast_conservation_and_determinism() {
 #[test]
 fn hamiltonian_multicast_reaches_all_members() {
     let topo = ring4();
-    let mut net = build_net(&topo, true);
+    let mut net = build_net(&topo, TraceConfig::Memory);
     let members: Vec<HostId> = (0..4).map(HostId).collect();
     let groups = Membership::from_groups([(0u8, members.clone())]);
     install_hc(&mut net, HcConfig::store_and_forward(), &groups);
@@ -136,7 +137,7 @@ fn hamiltonian_multicast_reaches_all_members() {
 fn hamiltonian_cut_through_is_faster_at_light_load() {
     let run = |cfg: HcConfig| {
         let topo = ring4();
-        let mut net = build_net(&topo, false);
+        let mut net = build_net(&topo, TraceConfig::Off);
         let members: Vec<HostId> = (0..4).map(HostId).collect();
         let groups = Membership::from_groups([(0u8, members)]);
         install_hc(&mut net, cfg, &groups);
@@ -161,7 +162,7 @@ fn hamiltonian_cut_through_is_faster_at_light_load() {
 #[test]
 fn tree_multicast_reaches_all_members() {
     let topo = ring4();
-    let mut net = build_net(&topo, false);
+    let mut net = build_net(&topo, TraceConfig::Off);
     let members: Vec<HostId> = (0..4).map(HostId).collect();
     let tree = MulticastTree::build(&members, TreeShape::BinaryHeap, None);
     let mut trees = std::collections::HashMap::new();
@@ -189,7 +190,7 @@ fn contention_is_resolved_by_backpressure_without_loss() {
     // Two hosts blast the same destination at the same instant; the switch
     // serialises the worms, nothing is dropped.
     let topo = ring4();
-    let mut net = build_net(&topo, true);
+    let mut net = build_net(&topo, TraceConfig::Memory);
     let groups = Membership::from_groups([(0u8, vec![HostId(0)])]);
     install_hc(&mut net, HcConfig::store_and_forward(), &groups);
     for src in [0u32, 2u32] {

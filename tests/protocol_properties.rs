@@ -61,10 +61,11 @@ fn run_one(
         Proto::SwitchV2 => SwitchcastMode::RootedInterrupt,
         _ => SwitchcastMode::Off,
     };
-    let mut net = Network::build(&topo.to_fabric_spec(), routes.clone(), NetworkConfig {
-        switchcast: mode,
-        ..NetworkConfig::default()
-    });
+    let cfg = NetworkConfig::builder()
+        .switchcast(mode)
+        .build()
+        .expect("valid config");
+    let mut net = Network::build(&topo.to_fabric_spec(), routes.clone(), cfg);
     match proto {
         Proto::HcSnf | Proto::HcCut | Proto::HcSerialized => {
             let cfg = match proto {

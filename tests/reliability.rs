@@ -8,7 +8,7 @@ use wormcast::core::reliable::{AckNackConfig, Reliability};
 use wormcast::core::{HcConfig, HcProtocol, Membership, TreeConfig, TreeProtocol};
 use wormcast::sim::engine::HostId;
 use wormcast::sim::protocol::{Destination, SourceMessage};
-use wormcast::sim::{Network, NetworkConfig};
+use wormcast::sim::{FaultConfig, Network, NetworkConfig};
 use wormcast::topo::tree::{MulticastTree, TreeShape};
 use wormcast::topo::{TopoBuilder, Topology, UpDown};
 use wormcast::traffic::script::install_script;
@@ -42,11 +42,12 @@ fn build(corrupt_prob: f64, seed: u64) -> Network {
     let topo = line4();
     let ud = UpDown::compute(&topo, 0);
     let routes = ud.route_table(&topo, false);
-    Network::build(&topo.to_fabric_spec(), routes, NetworkConfig {
-        corrupt_prob,
-        seed,
-        ..NetworkConfig::default()
-    })
+    let cfg = NetworkConfig::builder()
+        .faults(FaultConfig::try_new(corrupt_prob).expect("probability in range"))
+        .seed(seed)
+        .build()
+        .expect("valid config");
+    Network::build(&topo.to_fabric_spec(), routes, cfg)
 }
 
 fn hc_all(net: &mut Network, cfg: HcConfig, groups: &Arc<Membership>) {

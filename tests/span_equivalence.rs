@@ -7,10 +7,13 @@
 //! whole point of the optimisation is that they do). These tests drive both
 //! modes over the paper's three fabric families (8×8 torus, 24-node
 //! shufflenet, the Myrinet testbed line) and over random irregular
-//! topologies, then compare everything.
+//! topologies, then compare everything — including the rendered JSONL
+//! lifecycle trace, which the trace subsystem guarantees is byte-identical
+//! across engine modes (DESIGN.md §3.2).
 
 use proptest::prelude::*;
 use wormcast::sim::network::{NetStats, SimMode};
+use wormcast::sim::trace::TraceConfig;
 use wormcast::topo::irregular::{irregular, IrregularSpec};
 use wormcast::topo::shufflenet::shufflenet24;
 use wormcast::topo::torus::torus;
@@ -24,14 +27,17 @@ use wormcast_traffic::workload::PaperWorkload;
 use wormcast_traffic::{GroupSet, LengthDist};
 
 /// Everything a run observably produces: sorted `(msg, host, time)`
-/// delivery triples plus the statistics block. Sorted because batching k
-/// simultaneous byte arrivals into one event legitimately permutes the
-/// processing order *within* a tick — the timestamps themselves must
-/// still match bit-for-bit.
-type Observed = (Vec<(u64, u32, u64)>, NetStats);
+/// delivery triples, the statistics block, and the rendered JSONL
+/// lifecycle trace. Deliveries are sorted because batching k simultaneous
+/// byte arrivals into one event legitimately permutes the processing order
+/// *within* a tick — the timestamps themselves must still match
+/// bit-for-bit. The JSONL needs no such help: `to_jsonl` renders in the
+/// canonical `(t, line)` order by contract.
+type Observed = (Vec<(u64, u32, u64)>, NetStats, String);
 
-fn observe(mut setup: SimSetup, mode: SimMode) -> Observed {
+fn observe(mut setup: SimSetup, mode: SimMode, trace: TraceConfig) -> Observed {
     setup.mode = mode;
+    setup.trace = trace;
     let mut net = build_network(&setup);
     let out = net.run_until(setup.drain_until);
     assert!(out.deadlock.is_none(), "{mode:?}: deadlock {out:?}");
@@ -44,31 +50,73 @@ fn observe(mut setup: SimSetup, mode: SimMode) -> Observed {
         .map(|d| (d.msg.0, d.host.0, d.at))
         .collect();
     deliveries.sort_unstable();
-    (deliveries, net.stats.clone())
+    (deliveries, net.stats.clone(), net.trace.to_jsonl())
 }
 
-/// Run `setup` under both modes and require bit-identical observables,
-/// masking only the engine-cost counters. Returns the per-byte and
-/// span-batched scheduled-event counts for callers that assert on cost.
+/// Statistics equality with the engine-cost counters (the one
+/// legitimately mode-dependent pair) masked out.
+fn assert_stats_eq(mut a: NetStats, mut b: NetStats, label: &str, what: &str) {
+    a.events_scheduled = 0;
+    a.events_fired = 0;
+    b.events_scheduled = 0;
+    b.events_fired = 0;
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "{label}: {what} NetStats diverged between engine modes"
+    );
+}
+
+/// Run `setup` under both modes, traced and untraced, and require
+/// bit-identical observables. With a sink attached the span fast path
+/// stands down (byte-level interleaving is observable), so the rendered
+/// JSONL must match byte-for-byte; without one the fast path is live and
+/// the worm-visible observables must still match. Tracing itself must be
+/// a pure observer: the traced and untraced runs must agree too. Returns
+/// the per-byte and span-batched scheduled-event counts of the untraced
+/// pair for callers that assert on cost.
 fn assert_equivalent(mk: impl Fn() -> SimSetup, label: &str) -> (u64, u64) {
-    let (d_ref, mut s_ref) = observe(mk(), SimMode::PerByte);
-    let (d_span, mut s_span) = observe(mk(), SimMode::SpanBatched);
+    let (d_ref, s_ref, j_ref) = observe(mk(), SimMode::PerByte, TraceConfig::Memory);
+    let (d_span, s_span, j_span) = observe(mk(), SimMode::SpanBatched, TraceConfig::Memory);
     assert_eq!(
         d_ref, d_span,
+        "{label}: traced delivery records diverged between engine modes"
+    );
+    assert!(
+        j_ref == j_span,
+        "{label}: JSONL traces diverged between engine modes\n{}",
+        first_diff(&j_ref, &j_span)
+    );
+    assert!(!j_ref.is_empty(), "{label}: trace captured nothing");
+    assert_stats_eq(s_ref, s_span, label, "traced");
+
+    let (d_off_ref, s_off_ref, _) = observe(mk(), SimMode::PerByte, TraceConfig::Off);
+    let (d_off_span, s_off_span, _) = observe(mk(), SimMode::SpanBatched, TraceConfig::Off);
+    assert_eq!(
+        d_off_ref, d_off_span,
         "{label}: delivery records diverged between engine modes"
     );
-    let (e_ref, e_span) = (s_ref.events_scheduled, s_span.events_scheduled);
-    // The one legitimately mode-dependent pair.
-    s_ref.events_scheduled = 0;
-    s_ref.events_fired = 0;
-    s_span.events_scheduled = 0;
-    s_span.events_fired = 0;
     assert_eq!(
-        format!("{s_ref:?}"),
-        format!("{s_span:?}"),
-        "{label}: NetStats diverged between engine modes"
+        d_ref, d_off_ref,
+        "{label}: attaching a trace sink changed the delivery records"
     );
+    let (e_ref, e_span) = (s_off_ref.events_scheduled, s_off_span.events_scheduled);
+    assert_stats_eq(s_off_ref, s_off_span, label, "untraced");
     (e_ref, e_span)
+}
+
+/// The first differing line of two JSONL streams, for a readable failure.
+fn first_diff(a: &str, b: &str) -> String {
+    for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+        if la != lb {
+            return format!("line {}:\n  per-byte: {la}\n  spans:    {lb}", i + 1);
+        }
+    }
+    format!(
+        "line counts differ: {} vs {}",
+        a.lines().count(),
+        b.lines().count()
+    )
 }
 
 fn paper_workload(load: f64) -> PaperWorkload {
@@ -81,19 +129,10 @@ fn paper_workload(load: f64) -> PaperWorkload {
 }
 
 fn setup_on(topo: Topology, groups: GroupSet, scheme: Scheme, load: f64, seed: u64) -> SimSetup {
-    SimSetup {
-        topo,
-        updown_root: 0,
-        restrict_to_tree: false,
-        groups,
-        scheme,
-        workload: paper_workload(load),
-        mode: SimMode::SpanBatched,
-        seed,
-        warmup: 0,
-        generate_until: 0,
-        drain_until: 0,
-    }
+    SimSetup::builder(topo, groups, scheme, paper_workload(load))
+        .seed(seed)
+        .build()
+        .expect("valid setup")
 }
 
 #[test]

@@ -52,10 +52,11 @@ fn setup(variant: SwitchcastVariant, members: Vec<HostId>) -> Setup {
     let tables = Arc::new(SwitchcastTables::build(
         &topo, &ud, &routes, &membership, restrict,
     ));
-    let mut net = Network::build(&topo.to_fabric_spec(), routes, NetworkConfig {
-        switchcast: mode,
-        ..NetworkConfig::default()
-    });
+    let cfg = NetworkConfig::builder()
+        .switchcast(mode)
+        .build()
+        .expect("valid config");
+    let mut net = Network::build(&topo.to_fabric_spec(), routes, cfg);
     net.set_broadcast_ports(SwitchcastTables::broadcast_ports(&topo, &ud));
     for h in 0..net.num_hosts() as u32 {
         let p = SwitchcastProtocol::new(
