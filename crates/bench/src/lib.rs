@@ -20,7 +20,5 @@ pub mod schemes;
 pub mod trace_io;
 
 pub use runner::{run, run_parallel, run_traced, RunReport, SimSetup, SimSetupBuilder};
-#[allow(deprecated)]
-pub use runner::RunResult;
 pub use schemes::Scheme;
 pub use wormcast_sim::network::RunOutcome;

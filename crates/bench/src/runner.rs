@@ -207,10 +207,6 @@ impl RunReport {
     }
 }
 
-/// Former name of [`RunReport`], kept for one release.
-#[deprecated(note = "renamed to RunReport; statistics moved to `.outcome.stats` / `.stats()`")]
-pub type RunResult = RunReport;
-
 /// Build the network for a setup (shared with tests and examples).
 pub fn build_network(setup: &SimSetup) -> Network {
     let ud = UpDown::compute(&setup.topo, setup.updown_root);

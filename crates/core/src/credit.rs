@@ -377,6 +377,7 @@ mod tests {
                 stage: 0,
             },
             route: vec![],
+            route_len: 0,
             header_len: 8,
             payload_len: 4,
             created: 0,
@@ -423,6 +424,7 @@ mod tests {
                 stage: 0,
             },
             route: vec![],
+            route_len: 0,
             header_len: 8,
             payload_len: 4,
             created: 0,
@@ -462,6 +464,7 @@ mod tests {
                 stage: 0,
             },
             route: vec![],
+            route_len: 0,
             header_len: 8,
             payload_len: 4,
             created: 0,

@@ -423,6 +423,7 @@ mod tests {
                 stage,
             },
             route: vec![],
+            route_len: 0,
             header_len: 8,
             payload_len: 400,
             created: 5,

@@ -348,6 +348,7 @@ mod tests {
                 stage: 4,
             },
             route: vec![],
+            route_len: 0,
             header_len: 8,
             payload_len: 4,
             created: 0,

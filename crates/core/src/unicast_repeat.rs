@@ -149,6 +149,7 @@ mod tests {
                 stage: 0,
             },
             route: vec![],
+            route_len: 0,
             header_len: 8,
             payload_len: 100,
             created: 0,

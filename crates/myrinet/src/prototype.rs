@@ -338,6 +338,7 @@ mod tests {
                 stage: 0,
             },
             route: vec![],
+            route_len: 0,
             header_len: 8,
             payload_len: size,
             created: 0,

@@ -16,8 +16,8 @@ use crate::link::ChanId;
 use crate::network::Network;
 use crate::protocol::Admission;
 
+use crate::slab::FollowMap;
 use crate::worm::{ByteKind, RouteSym, WireByte, WormId};
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
 /// A worm queued for transmission at an adapter.
@@ -85,11 +85,12 @@ pub struct Adapter {
     pub tx_queue: VecDeque<TxWorm>,
     pub rx: RxState,
     /// Body bytes received so far for worms that cut-through followers are
-    /// tracking. `u64::MAX` marks a fully-received worm.
-    pub rx_body_got: HashMap<WormId, u64>,
+    /// tracking. `u64::MAX` marks a fully-received worm. A linear-scan map:
+    /// at most a handful of worms are ever live here (see [`FollowMap`]).
+    pub rx_body_got: FollowMap,
     /// Fragmented receptions (switch-level interrupt/resume) parked between
     /// fragments; other worms may complete in the gap.
-    pub parked: HashMap<WormId, u64>,
+    pub parked: FollowMap,
     pub counters: AdapterCounters,
 }
 
@@ -101,8 +102,8 @@ impl Adapter {
             chan_in: None,
             tx_queue: VecDeque::new(),
             rx: RxState::Idle,
-            rx_body_got: HashMap::new(),
-            parked: HashMap::new(),
+            rx_body_got: FollowMap::new(),
+            parked: FollowMap::new(),
             counters: AdapterCounters::default(),
         }
     }
@@ -151,7 +152,7 @@ impl Network {
             } else if head.body_sent < inst.body_len() {
                 // Cut-through constraint: don't run ahead of the source worm.
                 if let Some(src) = head.follow {
-                    let got = a.rx_body_got.get(&src).copied().unwrap_or(0);
+                    let got = a.rx_body_got.get(src).unwrap_or(0);
                     if got != u64::MAX && head.body_sent >= got {
                         return None;
                     }
@@ -165,7 +166,7 @@ impl Network {
                 // Tail: the source worm must be fully received first (the
                 // checksum cannot be emitted before the data exists).
                 if let Some(src) = head.follow {
-                    let got = a.rx_body_got.get(&src).copied().unwrap_or(0);
+                    let got = a.rx_body_got.get(src).unwrap_or(0);
                     if got != u64::MAX {
                         return None;
                     }
@@ -192,9 +193,13 @@ impl Network {
                 if let Some(src) = finished.follow {
                     let a = &mut self.adapters[host.0 as usize];
                     if !a.tx_queue.iter().any(|t| t.follow == Some(src)) {
-                        a.rx_body_got.remove(&src);
+                        a.rx_body_got.remove(src);
                     }
                 }
+                // The route left the wire byte by byte; recycle its buffer
+                // (wire-length accounting uses the cached `route_len`).
+                let route = std::mem::take(&mut self.worms[finished.worm.0 as usize].route);
+                self.route_pool.give(route);
                 self.notify_tx_complete(host, finished.worm);
                 Some(b)
             }
@@ -217,7 +222,7 @@ impl Network {
             let a = &self.adapters[host.0 as usize];
             match &a.rx {
                 RxState::Idle => {
-                    if a.parked.contains_key(&byte.worm) {
+                    if a.parked.contains(byte.worm) {
                         RxAction::ResumeFragment(byte.worm)
                     } else {
                         RxAction::NewWorm(byte.worm)
@@ -276,7 +281,7 @@ impl Network {
                 if let RxState::Receiving { body_got, .. } = &mut a.rx {
                     *body_got += 1;
                 }
-                if let Some(g) = a.rx_body_got.get_mut(&worm) {
+                if let Some(g) = a.rx_body_got.get_mut(worm) {
                     // u64::MAX marks "fully received" and must stay sticky.
                     *g = g.saturating_add(1);
                 }
@@ -284,17 +289,17 @@ impl Network {
                 self.adapter_kick_followers(host);
             }
             RxAction::Complete(worm) => {
-                let corrupt = self.corrupt_worms.contains(&worm);
+                let corrupt = self.worm_flags.get(worm) & crate::slab::FLAG_CORRUPT != 0;
                 {
                     let a = &mut self.adapters[host.0 as usize];
                     a.rx = RxState::Idle;
                     a.counters.bytes_received += 1;
                     if corrupt {
                         a.counters.worms_corrupt += 1;
-                        a.rx_body_got.remove(&worm);
+                        a.rx_body_got.remove(worm);
                     } else {
                         a.counters.worms_received += 1;
-                        if let Some(g) = a.rx_body_got.get_mut(&worm) {
+                        if let Some(g) = a.rx_body_got.get_mut(worm) {
                             *g = u64::MAX;
                         }
                     }
@@ -338,7 +343,7 @@ impl Network {
             RxAction::ResumeFragment(worm) => {
                 let body_got = {
                     let a = &mut self.adapters[host.0 as usize];
-                    a.parked.remove(&worm).expect("parked")
+                    a.parked.remove(worm).expect("parked")
                 };
                 if self.trace.enabled() {
                     self.trace.push(
@@ -381,7 +386,7 @@ impl Network {
                             worm,
                             body_got: body_got + 1,
                         };
-                        if let Some(g) = a.rx_body_got.get_mut(&worm) {
+                        if let Some(g) = a.rx_body_got.get_mut(worm) {
                             // u64::MAX (fully received) stays sticky.
                             *g = g.saturating_add(1);
                         }
@@ -424,7 +429,7 @@ impl Network {
             return None;
         }
         if let Some(src) = head.follow {
-            if a.rx_body_got.get(&src).copied() != Some(u64::MAX) {
+            if a.rx_body_got.get(src) != Some(u64::MAX) {
                 return None;
             }
         }
@@ -455,7 +460,7 @@ impl Network {
                 RxState::Receiving { worm: w, body_got } => {
                     debug_assert_eq!(*w, worm, "span for a worm not being received");
                     *body_got += len;
-                    if let Some(g) = a.rx_body_got.get_mut(&worm) {
+                    if let Some(g) = a.rx_body_got.get_mut(worm) {
                         // u64::MAX (fully received) stays sticky.
                         *g = g.saturating_add(len);
                     }

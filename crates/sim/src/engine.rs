@@ -113,7 +113,10 @@ impl Scheduler {
         self.wheel.popped()
     }
 
-    /// Timestamp of the next pending event, if any.
+    /// Timestamp of the next pending event, if any. O(1): backed by the
+    /// wheel's slot-occupancy bitmap, so deadline checks and watchdogs may
+    /// call this freely even when the schedule is sparse.
+    #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
         self.wheel.peek_time()
     }

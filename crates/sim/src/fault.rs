@@ -11,7 +11,6 @@
 //! error manifests on a real Myrinet.
 
 use crate::config::ConfigError;
-use crate::network::NetworkConfig;
 use serde::{Deserialize, Serialize};
 
 /// Fault-injection knobs, in the spirit of smoltcp's `--corrupt-chance`
@@ -35,42 +34,11 @@ impl FaultConfig {
         }
         Ok(FaultConfig { corrupt_prob })
     }
-
-    #[deprecated(note = "use `FaultConfig::try_new`, which returns a ConfigError instead of panicking")]
-    pub fn new(corrupt_prob: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&corrupt_prob),
-            "corrupt_prob must be a probability, got {corrupt_prob}"
-        );
-        FaultConfig { corrupt_prob }
-    }
-
-    /// Apply these faults to a network configuration.
-    #[deprecated(note = "pass the FaultConfig to `NetworkConfigBuilder::faults` instead")]
-    pub fn apply(&self, cfg: &mut NetworkConfig) {
-        cfg.corrupt_prob = self.corrupt_prob;
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
-        let mut cfg = NetworkConfig::default();
-        assert_eq!(cfg.corrupt_prob, 0.0);
-        FaultConfig::new(0.25).apply(&mut cfg);
-        assert_eq!(cfg.corrupt_prob, 0.25);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    #[should_panic(expected = "probability")]
-    fn deprecated_new_still_panics_out_of_range() {
-        let _ = FaultConfig::new(1.5);
-    }
 
     #[test]
     fn try_new_validates() {

@@ -37,6 +37,7 @@ pub mod fault;
 pub mod link;
 pub mod network;
 pub mod protocol;
+pub mod slab;
 pub mod switch;
 pub mod switchcast;
 pub mod time;

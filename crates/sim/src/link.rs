@@ -107,7 +107,11 @@ impl Channel {
             stalled_since: None,
             stall_total: 0,
             stalls: 0,
-            spans: VecDeque::new(),
+            // Pre-size the in-flight span ring: `SpanInFlight` is `Copy`,
+            // so with capacity in hand the steady-state span path performs
+            // no allocator calls (a link rarely carries more than a couple
+            // of outstanding spans at once).
+            spans: VecDeque::with_capacity(8),
             kick_gen: 0,
         }
     }

@@ -8,6 +8,7 @@ use crate::protocol::{
     Admission, AdapterProtocol, AppMessage, Command, Destination, ProtocolCtx, SendSpec,
     TrafficSource,
 };
+use crate::slab;
 use crate::switch::{SlackCfg, Switch};
 use crate::switchcast::SwitchcastMode;
 use crate::time::SimTime;
@@ -16,7 +17,6 @@ use crate::worm::{ByteKind, MessageId, WormId, WormInstance, WormMeta};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
 
 /// Where a host attaches to the fabric.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -222,12 +222,17 @@ pub struct Network {
     pub msgs: MessageLog,
     pub trace: Trace,
     pub(crate) routes: RouteTable,
-    pub(crate) corrupt_worms: HashSet<WormId>,
+    /// Per-worm status bits ([`slab::FLAG_CORRUPT`], [`slab::FLAG_FLUSHED`])
+    /// in a dense slab — the delivery path never hashes a [`WormId`].
+    pub(crate) worm_flags: slab::PerWorm<u8>,
+    /// Number of worms carrying [`slab::FLAG_FLUSHED`]; lets the per-byte
+    /// hot path skip the flush check entirely when no flush ever happened.
+    pub(crate) flushed_count: u32,
     /// Outstanding sink count for multi-sink (switch-multicast) worms.
-    pub(crate) sink_remaining: std::collections::HashMap<WormId, u32>,
-    /// Worms evicted by a Backward Reset flush; their in-flight bytes are
-    /// discarded on arrival.
-    pub(crate) flushed_worms: HashSet<WormId>,
+    /// 0 means "not yet decremented" (lazily initialised from `sinks`).
+    pub(crate) sink_remaining: slab::PerWorm<u32>,
+    /// Recycled encoded-route buffers (see [`slab::RoutePool`]).
+    pub(crate) route_pool: slab::RoutePool,
     /// Down-tree + host ports per switch, for the broadcast address
     /// (configured via [`Network::set_broadcast_ports`]).
     pub(crate) broadcast_ports: Vec<Vec<u8>>,
@@ -338,6 +343,7 @@ impl Network {
                 for inp in &mut sw.inputs {
                     if let Some(ch) = inp.chan_in {
                         inp.slack = SlackCfg::for_delay(channels[ch.0 as usize].delay);
+                        inp.buf.reserve(inp.slack.capacity as usize);
                     }
                 }
             }
@@ -366,9 +372,10 @@ impl Network {
             stats: NetStats::default(),
             msgs: MessageLog::default(),
             routes,
-            corrupt_worms: HashSet::new(),
-            sink_remaining: std::collections::HashMap::new(),
-            flushed_worms: HashSet::new(),
+            worm_flags: slab::PerWorm::new(0),
+            flushed_count: 0,
+            sink_remaining: slab::PerWorm::new(0),
+            route_pool: slab::RoutePool::new(),
             broadcast_ports: Vec::new(),
             protocols: (0..num_hosts).map(|_| None).collect(),
             sources: (0..num_hosts).map(|_| None).collect(),
@@ -411,17 +418,12 @@ impl Network {
         if sinks <= 1 {
             return true;
         }
-        let left = self
-            .sink_remaining
-            .entry(worm)
-            .or_insert(sinks);
-        *left -= 1;
+        let left = self.sink_remaining.get_mut(worm);
         if *left == 0 {
-            self.sink_remaining.remove(&worm);
-            true
-        } else {
-            false
+            *left = sinks;
         }
+        *left -= 1;
+        *left == 0
     }
 
     /// Install the protocol instance for a host.
@@ -774,7 +776,7 @@ impl Network {
                 .push((now + counted, span.len - counted, now - span.start));
         }
         debug_assert!(
-            self.flushed_worms.is_empty(),
+            self.flushed_count == 0,
             "spans and flushes cannot coexist (switchcast gates the fast path)"
         );
         match dst.node {
@@ -857,7 +859,7 @@ impl Network {
         };
         self.stats.bytes_moved += 1;
         // Bytes of a flushed (Backward Reset) worm evaporate on arrival.
-        if !self.flushed_worms.is_empty() && self.discard_if_flushed(&byte) {
+        if self.flushed_count > 0 && self.discard_if_flushed(&byte) {
             return;
         }
         match dst.node {
@@ -1161,7 +1163,11 @@ impl Network {
                     "no route from {host:?} to {:?}",
                     spec.dest
                 );
-                crate::adapter::ports_to_route(ports)
+                // Reuse a recycled route buffer: steady-state injection
+                // performs no allocator calls.
+                let mut buf = self.route_pool.take();
+                buf.extend(ports.iter().map(|&p| crate::worm::RouteSym::Port(p)));
+                buf
             }
         };
         let id = WormId(self.worms.len() as u32);
@@ -1171,8 +1177,8 @@ impl Network {
         let follow = spec.follow.filter(|w| {
             self.adapters[host.0 as usize]
                 .rx_body_got
-                .get(w)
-                .is_some_and(|&g| g != u64::MAX)
+                .get(*w)
+                .is_some_and(|g| g != u64::MAX)
         });
         let inst = WormInstance {
             id,
@@ -1191,6 +1197,7 @@ impl Network {
                 advertised_size: spec.advertised_size,
                 stage: spec.stage,
             },
+            route_len: route.len() as u32,
             route,
             header_len: self.cfg.header_len,
             payload_len: spec.payload_len,
@@ -1203,7 +1210,7 @@ impl Network {
         self.stats.sinks_injected += sinks;
         self.stats.active_worms += sinks as i64;
         if self.cfg.corrupt_prob > 0.0 && self.fault_rng.gen_bool(self.cfg.corrupt_prob) {
-            self.corrupt_worms.insert(id);
+            *self.worm_flags.get_mut(id) |= slab::FLAG_CORRUPT;
         }
         if self.trace.enabled() {
             self.trace

@@ -99,7 +99,10 @@ impl InPort {
     pub fn new(slack: SlackCfg) -> Self {
         InPort {
             chan_in: None,
-            buf: VecDeque::new(),
+            // The slack buffer is bounded by its configured capacity;
+            // reserving it up front keeps the per-byte enqueue path free
+            // of allocator calls for the life of the simulation.
+            buf: VecDeque::with_capacity(slack.capacity as usize),
             slack,
             sent_stop: false,
             state: InState::Idle,

@@ -898,7 +898,11 @@ impl Network {
     /// (the propagation-delay difference is a few byte-times and no other
     /// event can interleave meaningfully).
     pub(crate) fn flush_worm(&mut self, worm: crate::worm::WormId, sw: SwitchId, in_port: u8) {
-        self.flushed_worms.insert(worm);
+        let flags = self.worm_flags.get_mut(worm);
+        if *flags & crate::slab::FLAG_FLUSHED == 0 {
+            *flags |= crate::slab::FLAG_FLUSHED;
+            self.flushed_count += 1;
+        }
         let injector = self.worms[worm.0 as usize].meta.injector;
         let mut cur = Some((sw, in_port));
         while let Some((s, p)) = cur {
@@ -978,7 +982,7 @@ impl Network {
     /// A byte of an already-flushed worm arrived somewhere: discard it.
     /// Returns true if the byte was consumed.
     pub(crate) fn discard_if_flushed(&mut self, byte: &WireByte) -> bool {
-        self.flushed_worms.contains(&byte.worm)
+        self.worm_flags.get(byte.worm) & crate::slab::FLAG_FLUSHED != 0
     }
 
     /// Unused legacy entry point: flushes are performed synchronously by

@@ -145,7 +145,12 @@ pub struct WormInstance {
     /// count of the tree for a switch-level multicast).
     pub sinks: u32,
     /// Encoded source route as injected. Switches consume from the front.
+    /// Reclaimed into the network's route pool once the worm has fully
+    /// left its source adapter — use [`Self::route_len`] for accounting.
     pub route: Vec<RouteSym>,
+    /// Length of the route as injected, cached so wire-length accounting
+    /// survives the route buffer's reclamation.
+    pub route_len: u32,
     /// Logical header length in bytes (accounted on the wire).
     pub header_len: u32,
     /// Payload length in bytes.
@@ -160,7 +165,7 @@ impl WormInstance {
     /// Total number of bytes this worm occupies on the wire as injected:
     /// route + header + payload + trailing checksum byte.
     pub fn wire_len(&self) -> u64 {
-        self.route.len() as u64 + self.header_len as u64 + self.payload_len as u64 + 1
+        self.route_len as u64 + self.header_len as u64 + self.payload_len as u64 + 1
     }
 
     /// Number of data bytes between the route and the tail.
@@ -197,6 +202,7 @@ mod tests {
             meta: meta(),
             sinks: 1,
             route: vec![RouteSym::Port(1), RouteSym::Port(2), RouteSym::Port(0)],
+            route_len: 3,
             header_len: 8,
             payload_len: 100,
             created: 0,
