@@ -7,12 +7,13 @@ use wormcast_sim::config::ConfigError;
 use wormcast_sim::fault::FaultConfig;
 use wormcast_sim::network::{NetStats, NetworkConfig, RunOutcome, SimMode};
 use wormcast_sim::time::SimTime;
+use wormcast_sim::shard::ShardedNetwork;
 use wormcast_sim::trace::{Trace, TraceConfig};
 use wormcast_sim::Network;
 use wormcast_stats::latency::{latencies, Kind, LatencyReport};
 use wormcast_topo::hostgraph::HostGraph;
-use wormcast_topo::{Topology, UpDown};
-use wormcast_traffic::workload::{install_paper_sources, PaperWorkload};
+use wormcast_topo::{ShardPlan, Topology, UpDown};
+use wormcast_traffic::workload::{install_paper_sources_for, PaperWorkload};
 use wormcast_traffic::GroupSet;
 
 /// One experiment point: topology + groups + scheme + workload + windows.
@@ -40,6 +41,14 @@ pub struct SimSetup {
     pub trace: TraceConfig,
     /// Fault injection, folded into the network configuration.
     pub faults: FaultConfig,
+    /// Shards the single simulation runs on (1 = sequential engine). A
+    /// sharded run produces byte-identical statistics; configurations the
+    /// parallel engine cannot honor (trace sinks, fault injection) fall
+    /// back to the sequential engine.
+    pub shards: u32,
+    /// Explicit switch→shard plan; `None` derives a balanced contiguous
+    /// plan from the up/down root ([`ShardPlan::bfs_contiguous`]).
+    pub shard_plan: Option<ShardPlan>,
 }
 
 impl SimSetup {
@@ -65,6 +74,8 @@ impl SimSetup {
                 drain_until: 0,
                 trace: TraceConfig::Off,
                 faults: FaultConfig::default(),
+                shards: 1,
+                shard_plan: None,
             },
         }
     }
@@ -136,6 +147,23 @@ impl SimSetupBuilder {
         self
     }
 
+    /// Run the single simulation on `n` parallel shards (1 = sequential).
+    /// Results are byte-identical to the sequential engine; configurations
+    /// the parallel engine cannot honor fall back to sequential.
+    pub fn shards(mut self, n: u32) -> Self {
+        self.setup.shards = n;
+        self
+    }
+
+    /// Explicit switch→shard plan (e.g. [`ShardPlan::torus_grid`]
+    /// quadrants, or [`ShardPlan::switch_hash`] for adversarial tests).
+    /// Implies the plan's shard count.
+    pub fn shard_plan(mut self, plan: ShardPlan) -> Self {
+        self.setup.shards = plan.num_shards();
+        self.setup.shard_plan = Some(plan);
+        self
+    }
+
     /// Validate and produce the setup.
     pub fn build(self) -> Result<SimSetup, ConfigError> {
         let s = self.setup;
@@ -174,10 +202,35 @@ impl SimSetupBuilder {
                 max: 1.0,
             });
         }
+        if s.shards == 0 {
+            return Err(ConfigError::Invalid {
+                field: "shards",
+                reason: "shard count must be at least 1".into(),
+            });
+        }
+        if s.shards > 1 {
+            let plan = resolve_plan(&s).map_err(|reason| ConfigError::Invalid {
+                field: "shards",
+                reason,
+            })?;
+            plan.validate(&s.topo).map_err(|reason| ConfigError::Invalid {
+                field: "shard_plan",
+                reason,
+            })?;
+        }
         // Surface network-level violations (fault probability, trace ring
         // capacity) now rather than as a panic inside `build_network`.
         s.network_config()?;
         Ok(s)
+    }
+}
+
+/// The switch→shard plan a setup runs with: the explicit plan if set,
+/// otherwise a balanced contiguous plan rooted at the up/down root.
+fn resolve_plan(setup: &SimSetup) -> Result<ShardPlan, String> {
+    match &setup.shard_plan {
+        Some(p) => Ok(p.clone()),
+        None => ShardPlan::bfs_contiguous(&setup.topo, setup.updown_root, setup.shards),
     }
 }
 
@@ -209,6 +262,18 @@ impl RunReport {
 
 /// Build the network for a setup (shared with tests and examples).
 pub fn build_network(setup: &SimSetup) -> Network {
+    build_network_owned(setup, |_| true)
+}
+
+/// Build the network with traffic sources only on hosts the caller `owns`.
+/// Everything else — fabric, routes, protocols, seeds — is identical to
+/// [`build_network`], including the per-host source start times (the
+/// stagger stream is drawn for skipped hosts too), so N such builds with a
+/// partition of the host set behave exactly like one whole build.
+fn build_network_owned(
+    setup: &SimSetup,
+    owned: impl Fn(wormcast_sim::engine::HostId) -> bool,
+) -> Network {
     let ud = UpDown::compute(&setup.topo, setup.updown_root);
     let routes = ud.route_table(&setup.topo, setup.restrict_to_tree);
     let graph = HostGraph::from_routes(&routes);
@@ -220,8 +285,28 @@ pub fn build_network(setup: &SimSetup) -> Network {
     setup.scheme.install(&mut net, &membership, &graph);
     let mut workload = setup.workload;
     workload.stop_at = Some(setup.generate_until);
-    install_paper_sources(&mut net, workload, &Arc::new(setup.groups.clone()), setup.seed);
+    install_paper_sources_for(
+        &mut net,
+        workload,
+        &Arc::new(setup.groups.clone()),
+        setup.seed,
+        owned,
+    );
     net
+}
+
+/// Build the sharded engine for a setup: one full [`Network`] per shard
+/// (sources filtered to owned hosts), wired through the setup's
+/// [`ShardPlan`]. Errors when the configuration is not shardable (trace
+/// sink on, fault injection, zero-delay cut, > 64 shards).
+pub fn build_sharded(setup: &SimSetup) -> Result<ShardedNetwork, String> {
+    let plan = resolve_plan(setup)?;
+    plan.validate(&setup.topo)?;
+    let host_shard = plan.host_shard(&setup.topo);
+    let nets = (0..plan.num_shards())
+        .map(|s| build_network_owned(setup, |h| host_shard[h.0 as usize] == s))
+        .collect();
+    ShardedNetwork::new(nets, plan.switch_shard().to_vec())
 }
 
 /// Convert a traffic-crate group set into the protocols' membership table.
@@ -240,6 +325,21 @@ pub fn run(setup: &SimSetup) -> RunReport {
 /// unless the setup selected a sink). The bench JSONL writer and the
 /// trace-equivalence tests use this.
 pub fn run_traced(setup: &SimSetup) -> (RunReport, Trace) {
+    if setup.shards > 1 && matches!(setup.trace, TraceConfig::Off) {
+        // Sharded path. A build error means the configuration is not
+        // shardable (e.g. fault injection) — fall through to sequential.
+        if let Ok(mut sharded) = build_sharded(setup) {
+            let outcome = sharded.run_until(setup.drain_until);
+            debug_assert!(
+                outcome.deadlock.is_none(),
+                "unexpected deadlock: {outcome:?}"
+            );
+            sharded.audit().expect("conservation invariant");
+            let msgs = sharded.msgs();
+            let util = sharded.mean_host_tx_utilization(setup.drain_until);
+            return (make_report(setup, outcome, &msgs, util), Trace::default());
+        }
+    }
     let mut net = build_network(setup);
     let outcome = net.run_until(setup.drain_until);
     debug_assert!(
@@ -247,25 +347,26 @@ pub fn run_traced(setup: &SimSetup) -> (RunReport, Trace) {
         "unexpected deadlock: {outcome:?}"
     );
     net.audit().expect("conservation invariant");
+    let host_tx_utilization = net.mean_host_tx_utilization(setup.drain_until);
+    let report = make_report(setup, outcome, &net.msgs, host_tx_utilization);
+    (report, net.trace)
+}
+
+/// Derive the experiment report from a finished run's outcome and message
+/// log (shared by the sequential and sharded paths).
+fn make_report(
+    setup: &SimSetup,
+    outcome: RunOutcome,
+    msgs: &wormcast_sim::network::MessageLog,
+    host_tx_utilization: f64,
+) -> RunReport {
     let membership = membership_of(&setup.groups);
-    let multicast = latencies(
-        &net.msgs,
-        Kind::Multicast,
-        setup.warmup,
-        setup.generate_until,
-        None,
-    );
-    let unicast = latencies(
-        &net.msgs,
-        Kind::Unicast,
-        setup.warmup,
-        setup.generate_until,
-        None,
-    );
+    let multicast = latencies(msgs, Kind::Multicast, setup.warmup, setup.generate_until, None);
+    let unicast = latencies(msgs, Kind::Unicast, setup.warmup, setup.generate_until, None);
     // Delivery ratio: observed deliveries / expected deliveries for
     // multicast messages in the window (expected = members - origin-member).
     let mut expected_total = 0usize;
-    for rec in &net.msgs.created {
+    for rec in &msgs.created {
         if rec.created < setup.warmup || rec.created >= setup.generate_until {
             continue;
         }
@@ -278,28 +379,30 @@ pub fn run_traced(setup: &SimSetup) -> (RunReport, Trace) {
     } else {
         multicast.deliveries as f64 / expected_total as f64
     };
-    let elapsed = setup.drain_until;
-    let host_tx_utilization = net.mean_host_tx_utilization(elapsed);
-    let report = RunReport {
+    RunReport {
         outcome,
         multicast,
         unicast,
         host_tx_utilization,
         delivery_ratio,
-    };
-    (report, net.trace)
+    }
 }
 
-/// Run several setups concurrently, preserving order. At most
-/// `available_parallelism()` worker threads pull setups from a shared
-/// index, so a large sweep never oversubscribes the machine.
+/// Run several setups concurrently, preserving order. Worker threads pull
+/// setups from a shared index, so a large sweep never oversubscribes the
+/// machine: each sharded setup occupies `shards` threads of its own, so
+/// the worker count is `available_parallelism / max(shards)` — setups ×
+/// shards stays within the machine's parallelism.
 pub fn run_parallel(setups: Vec<SimSetup>) -> Vec<RunReport> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
+    let max_shards = setups.iter().map(|s| s.shards.max(1)).max().unwrap_or(1) as usize;
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+        .div_euclid(max_shards)
+        .max(1)
         .min(setups.len().max(1));
     let next = AtomicUsize::new(0);
     let results: Vec<Mutex<Option<RunReport>>> =

@@ -1,0 +1,215 @@
+//! Sharded-vs-sequential differential harness: the parallel engine must be
+//! a pure performance feature. For every topology family, shard count,
+//! partition plan and engine mode, the sharded run must reproduce the
+//! sequential run's statistics and message log **byte for byte** — only
+//! the engine-cost counters (`events_scheduled` / `events_fired`) may
+//! differ, exactly as between the two [`SimMode`]s (DESIGN.md §3.4).
+
+use wormcast_bench::runner::{build_network, build_sharded, SimSetup};
+use wormcast_bench::Scheme;
+use wormcast_core::{HcConfig, TreeConfig};
+use wormcast_sim::network::{MessageLog, NetStats, SimMode};
+use wormcast_topo::irregular::{irregular, IrregularSpec};
+use wormcast_topo::shufflenet::shufflenet24;
+use wormcast_topo::torus::torus;
+use wormcast_topo::tree::TreeShape;
+use wormcast_topo::{ShardPlan, Topology};
+use wormcast_traffic::rng::host_stream;
+use wormcast_traffic::workload::PaperWorkload;
+use wormcast_traffic::{GroupSet, LengthDist};
+
+const DRAIN_UNTIL: u64 = 26_000;
+
+fn setup_on(topo: Topology, scheme: Scheme, mode: SimMode) -> SimSetup {
+    let hosts = topo.num_hosts();
+    let mut grng = host_stream(11, 0x6071);
+    let groups = GroupSet::random(hosts, 3, (hosts / 3).max(2), &mut grng);
+    let workload = PaperWorkload {
+        offered_load: 0.08,
+        multicast_prob: 0.1,
+        lengths: LengthDist::Geometric { mean: 400 },
+        stop_at: None,
+    };
+    SimSetup::builder(topo, groups, scheme, workload)
+        .seed(23)
+        .mode(mode)
+        .windows(2_000, 12_000, 12_000)
+        .build()
+        .expect("valid setup")
+}
+
+/// Canonical comparison form: stats with the engine-cost counters masked,
+/// plus the message log with deliveries in canonical order (same-tick
+/// deliveries at different hosts are concurrent; the logs are compared as
+/// sets ordered by `(at, msg, host)`).
+fn canonical(mut stats: NetStats, mut msgs: MessageLog) -> (String, String, String) {
+    stats.events_scheduled = 0;
+    stats.events_fired = 0;
+    msgs.created
+        .sort_by_key(|r| (r.created, r.msg.0));
+    msgs.deliveries
+        .sort_by_key(|d| (d.at, d.msg.0, d.host.0));
+    (
+        format!("{stats:?}"),
+        format!("{:?}", msgs.created),
+        format!("{:?}", msgs.deliveries),
+    )
+}
+
+fn run_sequential(setup: &SimSetup) -> (String, String, String) {
+    let mut net = build_network(setup);
+    let out = net.run_until(DRAIN_UNTIL);
+    assert!(out.deadlock.is_none(), "sequential deadlock: {out:?}");
+    net.audit().expect("sequential conservation");
+    canonical(net.stats.clone(), net.msgs.clone())
+}
+
+fn run_sharded_with(setup: &SimSetup) -> (String, String, String) {
+    let mut sharded = build_sharded(setup).expect("shardable setup");
+    let out = sharded.run_until(DRAIN_UNTIL);
+    assert!(out.deadlock.is_none(), "sharded deadlock: {out:?}");
+    sharded.audit().expect("sharded conservation");
+    canonical(sharded.stats(), sharded.msgs())
+}
+
+fn assert_equivalent(name: &str, setup_seq: &SimSetup, setup_sh: &SimSetup) {
+    let (s0, c0, d0) = run_sequential(setup_seq);
+    let (s1, c1, d1) = run_sharded_with(setup_sh);
+    assert_eq!(c0, c1, "{name}: created messages diverged");
+    assert_eq!(d0, d1, "{name}: deliveries diverged");
+    assert_eq!(s0, s1, "{name}: stats diverged");
+}
+
+fn tree_fabric(seed: u64) -> Topology {
+    // A random spanning tree (no crosslinks) — the "subtree" family.
+    irregular(
+        IrregularSpec {
+            num_switches: 12,
+            extra_links: 0,
+            hosts_per_switch: 2,
+            link_delay: 1,
+        },
+        seed,
+    )
+}
+
+fn irregular_fabric(seed: u64) -> Topology {
+    irregular(
+        IrregularSpec {
+            num_switches: 14,
+            extra_links: 6,
+            hosts_per_switch: 2,
+            link_delay: 2,
+        },
+        seed,
+    )
+}
+
+#[test]
+fn torus_matches_across_shard_counts_and_modes() {
+    for mode in [SimMode::PerByte, SimMode::SpanBatched] {
+        let seq = setup_on(torus(4, 1), Scheme::Hc(HcConfig::store_and_forward()), mode);
+        for shards in [1u32, 2, 4] {
+            let mut sh = setup_on(torus(4, 1), Scheme::Hc(HcConfig::store_and_forward()), mode);
+            sh.shards = shards;
+            sh.shard_plan = Some(ShardPlan::torus_grid(4, shards).expect("plan"));
+            assert_equivalent(&format!("torus mode={mode:?} shards={shards}"), &seq, &sh);
+        }
+    }
+}
+
+#[test]
+fn shufflenet_matches_sharded() {
+    for shards in [2u32, 3] {
+        let seq = setup_on(
+            shufflenet24(1),
+            Scheme::Tree(TreeConfig::store_and_forward(), TreeShape::BinaryHeap),
+            SimMode::SpanBatched,
+        );
+        let mut sh = setup_on(
+            shufflenet24(1),
+            Scheme::Tree(TreeConfig::store_and_forward(), TreeShape::BinaryHeap),
+            SimMode::SpanBatched,
+        );
+        sh.shards = shards; // default bfs_contiguous plan
+        assert_equivalent(&format!("shufflenet shards={shards}"), &seq, &sh);
+    }
+}
+
+#[test]
+fn tree_fabric_matches_sharded() {
+    let topo = tree_fabric(5);
+    let seq = setup_on(
+        topo.clone(),
+        Scheme::Tree(TreeConfig::store_and_forward(), TreeShape::GreedyHop),
+        SimMode::SpanBatched,
+    );
+    for shards in [2u32, 4] {
+        let mut sh = setup_on(
+            topo.clone(),
+            Scheme::Tree(TreeConfig::store_and_forward(), TreeShape::GreedyHop),
+            SimMode::SpanBatched,
+        );
+        sh.shards = shards;
+        assert_equivalent(&format!("tree shards={shards}"), &seq, &sh);
+    }
+}
+
+#[test]
+fn irregular_fabric_matches_sharded_both_modes() {
+    let topo = irregular_fabric(9);
+    for mode in [SimMode::PerByte, SimMode::SpanBatched] {
+        let seq = setup_on(topo.clone(), Scheme::Hc(HcConfig::cut_through()), mode);
+        let mut sh = setup_on(topo.clone(), Scheme::Hc(HcConfig::cut_through()), mode);
+        sh.shards = 2;
+        assert_equivalent(&format!("irregular mode={mode:?}"), &seq, &sh);
+    }
+}
+
+/// Adversarial plan: round-robin switch→shard assignment puts *every*
+/// consecutive pair of route hops in different shards, so worms cross the
+/// same shard boundary many times (and re-enter shards they already
+/// visited) — the worst case for the worm-identity handoff protocol.
+#[test]
+fn adversarial_round_robin_plan_still_matches() {
+    let seq = setup_on(
+        torus(4, 1),
+        Scheme::Hc(HcConfig::store_and_forward()),
+        SimMode::SpanBatched,
+    );
+    let mut sh = setup_on(
+        torus(4, 1),
+        Scheme::Hc(HcConfig::store_and_forward()),
+        SimMode::SpanBatched,
+    );
+    sh.shards = 4;
+    sh.shard_plan = Some(ShardPlan::switch_hash(16, 4).expect("plan"));
+    assert_equivalent("adversarial switch-hash", &seq, &sh);
+}
+
+/// The public entry point composes the same way: `run()` on a sharded
+/// setup returns the same report as the sequential engine.
+#[test]
+fn runner_report_identical_with_shards() {
+    let seq = setup_on(
+        torus(4, 1),
+        Scheme::Tree(TreeConfig::store_and_forward(), TreeShape::BinaryHeap),
+        SimMode::SpanBatched,
+    );
+    let mut sh = setup_on(
+        torus(4, 1),
+        Scheme::Tree(TreeConfig::store_and_forward(), TreeShape::BinaryHeap),
+        SimMode::SpanBatched,
+    );
+    sh.shards = 2;
+    let a = wormcast_bench::runner::run(&seq);
+    let b = wormcast_bench::runner::run(&sh);
+    assert_eq!(
+        a.multicast.per_delivery.mean,
+        b.multicast.per_delivery.mean
+    );
+    assert_eq!(a.unicast.deliveries, b.unicast.deliveries);
+    assert_eq!(a.delivery_ratio, b.delivery_ratio);
+    assert_eq!(a.host_tx_utilization, b.host_tx_utilization);
+    assert_eq!(a.outcome.stats.bytes_moved, b.outcome.stats.bytes_moved);
+}

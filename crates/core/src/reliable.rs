@@ -97,17 +97,19 @@ struct Pending {
 /// tokens into [`ReliableFwd::handle_timer`].
 const ENGINE_TOKEN_BIT: u64 = 1 << 63;
 
-fn token_of(msg: MessageId, dest: HostId) -> u64 {
-    debug_assert!(msg.0 < (1 << 40), "message id overflows token encoding");
-    ENGINE_TOKEN_BIT | ((dest.0 as u64) << 40) | (msg.0 & 0xFF_FFFF_FFFF)
-}
-
 /// Per-host reliable forwarding engine.
 pub struct ReliableFwd {
     mode: Reliability,
     pool: Option<BufferPool>,
     held: HashMap<MessageId, Held>,
     pending: HashMap<u64, Pending>,
+    /// Token registry: `(msg, dest)` → the timer token of its pending
+    /// retransmission entry. Tokens are allocated from a local counter in
+    /// this host's own event order (message ids are too wide to pack into
+    /// a token alongside the destination), so allocation is deterministic
+    /// per host — which is all a sharded run needs.
+    tok_of: HashMap<(MessageId, HostId), u64>,
+    next_tok: u64,
     /// Messages already processed here (duplicate suppression for
     /// retransmitted worms — e.g. after a lost ACK). Only populated in
     /// ACK/NACK mode, where retransmissions exist.
@@ -135,6 +137,8 @@ impl ReliableFwd {
             pool,
             held: HashMap::new(),
             pending: HashMap::new(),
+            tok_of: HashMap::new(),
+            next_tok: 0,
             seen: std::collections::HashSet::new(),
             stats: FwdStats::default(),
         }
@@ -238,7 +242,14 @@ impl ReliableFwd {
                     held.refs += 1;
                 }
             }
-            let tok = token_of(spec.msg, spec.dest);
+            let tok = match self.tok_of.entry((spec.msg, spec.dest)) {
+                std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let tok = ENGINE_TOKEN_BIT | self.next_tok;
+                    self.next_tok += 1;
+                    *e.insert(tok)
+                }
+            };
             let mut stored = spec.clone();
             stored.follow = None; // retransmissions can never cut-through
             self.pending.insert(tok, Pending {
@@ -277,11 +288,12 @@ impl ReliableFwd {
         };
         match tag {
             tags::ACK => {
-                let tok = token_of(worm.meta.msg, worm.meta.injector);
-                if let Some(p) = self.pending.remove(&tok) {
-                    self.stats.acks += 1;
-                    if let Some(h) = p.hold {
-                        self.unref(h);
+                if let Some(tok) = self.tok_of.remove(&(worm.meta.msg, worm.meta.injector)) {
+                    if let Some(p) = self.pending.remove(&tok) {
+                        self.stats.acks += 1;
+                        if let Some(h) = p.hold {
+                            self.unref(h);
+                        }
                     }
                 }
                 true
@@ -311,6 +323,7 @@ impl ReliableFwd {
         };
         if p.retries >= cfg.max_retries {
             let p = self.pending.remove(&token).expect("present");
+            self.tok_of.remove(&(p.spec.msg, p.spec.dest));
             self.stats.gave_up += 1;
             if let Some(h) = p.hold {
                 self.unref(h);
@@ -481,7 +494,8 @@ mod tests {
         let mut f = ReliableFwd::new(acknack(PoolConfig::tight(500)));
         let (mut rng, mut cmds) = ctx_parts();
         let w = worm(1, 2, 1, 400);
-        let tok = token_of(MessageId(1), HostId(7));
+        // First token this engine allocates.
+        let tok = ENGINE_TOKEN_BIT;
         {
             let mut ctx = ProtocolCtx::new(0, HostId(5), 0, &mut rng, &mut cmds);
             assert_eq!(f.admit(&mut ctx, &w), Admission::Accept);

@@ -368,6 +368,228 @@ pub fn forensics(net: &Network) -> DeadlockReport {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Sharded (multi-engine) aggregation
+// ---------------------------------------------------------------------------
+
+/// Build the merged wait-for edge list across the shard engines of one
+/// sharded run. Each shard walks its *owned* switches and adapters using
+/// its own (authoritative) state; whenever an edge's far side — the
+/// downstream input a STOP points at, the upstream producer of a starved
+/// worm, the holder of a contended output — lives in another shard, that
+/// shard's engine is consulted instead of the local idle mirror. Worm ids
+/// in the result are canonical *across* shards: each distinct worm tag is
+/// assigned a dense id in tag order, so the same worm blocked in one
+/// shard and holding a resource in another carries one name.
+pub fn wait_edges_multi(
+    nets: &[Network],
+    switch_owner: &[u32],
+    host_owner: &[u32],
+) -> Vec<WaitEdge> {
+    struct RawEdge {
+        from: WaitNode,
+        to: WaitNode,
+        worm: Option<(usize, WormId)>,
+        holds: Option<(usize, WormId)>,
+        cause: WaitCause,
+    }
+
+    let owner_of = |node: WaitNode| -> usize {
+        match node {
+            WaitNode::SwitchIn(sw, _) => switch_owner[sw.0 as usize] as usize,
+            WaitNode::HostTx(h) => host_owner[h.0 as usize] as usize,
+        }
+    };
+    // The occupying worm of a node, read from the shard that owns it.
+    let node_worm_multi = |node: WaitNode| -> Option<(usize, WormId)> {
+        let s = owner_of(node);
+        node_worm(&nets[s], node).map(|w| (s, w))
+    };
+    // Upstream producer of a switch input, resolving the upstream output's
+    // crossbar owner in *its* shard (the local mirror knows nothing).
+    let upstream_multi = |net: &Network, sw: SwitchId, port: u8| -> Option<(WaitNode, ChanId)> {
+        let ch = net.switches[sw.0 as usize].inputs[port as usize].chan_in?;
+        let src = net.channels[ch.0 as usize].src;
+        match src.node {
+            NodeRef::Host(h) => Some((WaitNode::HostTx(h), ch)),
+            NodeRef::Switch(up) => {
+                let up_net = &nets[switch_owner[up.0 as usize] as usize];
+                let owner = up_net.switches[up.0 as usize].outputs[src.port as usize].owner?;
+                Some((WaitNode::SwitchIn(up, owner), ch))
+            }
+        }
+    };
+
+    let mut raw: Vec<RawEdge> = Vec::new();
+    for (si, net) in nets.iter().enumerate() {
+        for sw in &net.switches {
+            if switch_owner[sw.id.0 as usize] as usize != si {
+                continue;
+            }
+            for (pi, inp) in sw.inputs.iter().enumerate() {
+                let me = WaitNode::SwitchIn(sw.id, pi as u8);
+                match &inp.state {
+                    InState::Idle | InState::Draining { .. } => {}
+                    InState::Requesting { out, worm } => {
+                        if let Some(owner) = sw.outputs[*out as usize].owner {
+                            let to = WaitNode::SwitchIn(sw.id, owner);
+                            raw.push(RawEdge {
+                                from: me,
+                                to,
+                                worm: Some((si, *worm)),
+                                holds: node_worm_multi(to),
+                                cause: WaitCause::OutputHeldBy {
+                                    switch: sw.id,
+                                    out: *out,
+                                },
+                            });
+                        }
+                    }
+                    InState::Forwarding { out, worm } => {
+                        // The transmit-side STOP state of this input's
+                        // outgoing channel is owned here (we are its src).
+                        if let Some(ch) = sw.outputs[*out as usize].chan_out {
+                            if net.channels[ch.0 as usize].stopped {
+                                let dst = net.channels[ch.0 as usize].dst;
+                                if let NodeRef::Switch(down) = dst.node {
+                                    let to = WaitNode::SwitchIn(down, dst.port);
+                                    raw.push(RawEdge {
+                                        from: me,
+                                        to,
+                                        worm: Some((si, *worm)),
+                                        holds: node_worm_multi(to),
+                                        cause: WaitCause::StoppedDownstream { ch },
+                                    });
+                                }
+                            }
+                        }
+                        let starved = match inp.buf.front() {
+                            None => true,
+                            Some(front) => front.worm != *worm,
+                        };
+                        if starved {
+                            if let Some((up, ch)) = upstream_multi(net, sw.id, pi as u8) {
+                                raw.push(RawEdge {
+                                    from: me,
+                                    to: up,
+                                    worm: Some((si, *worm)),
+                                    holds: node_worm_multi(up),
+                                    cause: WaitCause::StarvedUpstream { ch },
+                                });
+                            }
+                        }
+                    }
+                    InState::Replicating(rep) => {
+                        for b in &rep.branches {
+                            if let Some(ch) = sw.outputs[b.out as usize].chan_out {
+                                if net.channels[ch.0 as usize].stopped {
+                                    let dst = net.channels[ch.0 as usize].dst;
+                                    if let NodeRef::Switch(down) = dst.node {
+                                        let to = WaitNode::SwitchIn(down, dst.port);
+                                        raw.push(RawEdge {
+                                            from: me,
+                                            to,
+                                            worm: Some((si, rep.worm)),
+                                            holds: node_worm_multi(to),
+                                            cause: WaitCause::BranchStopped { ch },
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for a in &net.adapters {
+            if host_owner[a.id.0 as usize] as usize != si {
+                continue;
+            }
+            let Some(head) = a.tx_queue.front() else {
+                continue;
+            };
+            if let Some(ch) = a.chan_out {
+                let c = &net.channels[ch.0 as usize];
+                if c.stopped {
+                    if let NodeRef::Switch(sw) = c.dst.node {
+                        let to = WaitNode::SwitchIn(sw, c.dst.port);
+                        raw.push(RawEdge {
+                            from: WaitNode::HostTx(a.id),
+                            to,
+                            worm: Some((si, head.worm)),
+                            holds: node_worm_multi(to),
+                            cause: WaitCause::HostLinkStopped { ch },
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Canonicalize worm names: every shard holds the worm under its own
+    // dense local id, but all of them know its globally unique tag.
+    // Dense-rank the tags so the report names each worm once, stably.
+    let tag_of = |(s, w): (usize, WormId)| -> u64 {
+        nets[s]
+            .worm_tag(w)
+            .unwrap_or(((s as u64) << 50) | w.0 as u64)
+    };
+    let mut tags: Vec<u64> = raw
+        .iter()
+        .flat_map(|e| e.worm.into_iter().chain(e.holds))
+        .map(tag_of)
+        .collect();
+    tags.sort_unstable();
+    tags.dedup();
+    let canon = |o: Option<(usize, WormId)>| -> Option<WormId> {
+        o.map(|sw| {
+            let rank = tags.binary_search(&tag_of(sw)).expect("tag collected");
+            WormId(rank as u32)
+        })
+    };
+    raw.into_iter()
+        .map(|e| WaitEdge {
+            from: e.from,
+            to: e.to,
+            worm: canon(e.worm),
+            holds: canon(e.holds),
+            cause: e.cause,
+        })
+        .collect()
+}
+
+/// Unconditional merged forensics for a sharded run (the multi-engine
+/// analogue of [`forensics`]).
+pub fn forensics_multi(
+    nets: &[Network],
+    switch_owner: &[u32],
+    host_owner: &[u32],
+) -> DeadlockReport {
+    let edges = wait_edges_multi(nets, switch_owner, host_owner);
+    let cycle = find_cycle(&graph_from_edges(&edges)).unwrap_or_default();
+    let stuck: i64 = nets.iter().map(|n| n.stats.active_worms).sum();
+    DeadlockReport {
+        cycle,
+        stuck_worms: stuck.max(0) as u64,
+        edges,
+    }
+}
+
+/// Analyze a sharded run's merged state for a deadlock cycle. `Some` only
+/// when a genuine wait cycle exists, exactly like [`analyze`].
+pub fn analyze_multi(
+    nets: &[Network],
+    switch_owner: &[u32],
+    host_owner: &[u32],
+) -> Option<DeadlockReport> {
+    let report = forensics_multi(nets, switch_owner, host_owner);
+    if report.cycle.is_empty() {
+        None
+    } else {
+        Some(report)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -52,6 +52,42 @@ pub enum Event {
     Stop,
 }
 
+impl Event {
+    /// Canonical same-timestamp ordering key (see DESIGN.md §3.3).
+    ///
+    /// Events sharing a byte-time fire in ascending key order. The key
+    /// depends only on the event itself — kind, then target channel or
+    /// host — never on when it was scheduled, so a sharded run (where
+    /// boundary events enter the wheel at a nondeterministic wall-clock
+    /// moment) replays exactly the schedule the sequential engine uses.
+    ///
+    /// Kind ranks: `Stop` first (a run deadline cuts off the deadline
+    /// tick, as it always has), then `Watchdog`, then control symbols
+    /// (STOP/GO must precede the same-tick `TxKick` they gate — the span
+    /// truncation rule relies on this), then arrivals, then transmit
+    /// kicks, then host-side events. Two events with equal keys target
+    /// the same entity and are therefore produced by the same shard, where
+    /// schedule order (the seq tie-break) is itself deterministic.
+    pub fn canon_key(&self) -> u64 {
+        const ID: u64 = 1 << 32;
+        match *self {
+            Event::Stop => 0,
+            Event::Watchdog => ID - 1,
+            // All control symbols for one channel are emitted by the single
+            // entity at its receive side, so their same-tick relative order
+            // is the emission order — preserved by the push-seq tie-break
+            // both in a sequential run and through a shard mailbox (which
+            // is per-sender FIFO). No per-symbol rank needed.
+            Event::CtrlRx { ch, .. } => ID + ch.0 as u64,
+            Event::RxByte { ch, .. } => 4 * ID + ch.0 as u64,
+            Event::RxSpan { ch } => 5 * ID + ch.0 as u64,
+            Event::TxKick { ch, .. } => 6 * ID + ch.0 as u64,
+            Event::HostTimer { host, .. } => 7 * ID + host.0 as u64,
+            Event::Inject { host } => 8 * ID + host.0 as u64,
+        }
+    }
+}
+
 /// Event queue with deterministic same-time ordering.
 pub struct Scheduler {
     wheel: TimingWheel<Event>,
@@ -67,7 +103,7 @@ impl Default for Scheduler {
 impl Scheduler {
     pub fn new() -> Self {
         Scheduler {
-            wheel: TimingWheel::new(),
+            wheel: TimingWheel::with_order(Event::canon_key),
             now: 0,
         }
     }

@@ -37,6 +37,7 @@ pub mod fault;
 pub mod link;
 pub mod network;
 pub mod protocol;
+pub mod shard;
 pub mod slab;
 pub mod switch;
 pub mod switchcast;
@@ -68,6 +69,7 @@ pub mod prelude {
     pub use crate::protocol::{
         AdapterProtocol, Admission, Command, Destination, ProtocolCtx, SendSpec, SourceMessage,
     };
+    pub use crate::shard::ShardedNetwork;
     pub use crate::switch::SlackCfg;
     pub use crate::switchcast::SwitchcastMode;
     pub use crate::time::SimTime;

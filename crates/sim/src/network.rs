@@ -240,10 +240,12 @@ pub struct Network {
     sources: Vec<Option<Box<dyn TrafficSource>>>,
     rngs: Vec<SmallRng>,
     fault_rng: SmallRng,
-    next_msg_id: u64,
+    /// Per-host message sequence counters. [`MessageId`]s pack
+    /// `(host << 40) | seq` so id assignment depends only on the host's own
+    /// injection history — a sharded run (which never sees other shards'
+    /// injections) allocates exactly the ids the sequential engine does.
+    next_msg_seq: Vec<u64>,
     cmd_scratch: Vec<Command>,
-    pending_injects: i64,
-    pending_timers: i64,
     /// STOP/GO arrivals whose worm attribution is deferred to the end of
     /// the current scheduler tick (`bool` is "STOP"). Crossbar/adapter
     /// state is only guaranteed identical across [`SimMode`]s at whole
@@ -255,21 +257,27 @@ pub struct Network {
     deadlock_seen: Option<DeadlockReport>,
     /// Deadline of the current `run_until` call. Span deliveries credit
     /// `bytes_moved` only for bytes whose per-byte arrival slot falls
-    /// before it, so the counter stays bit-identical across [`SimMode`]s
-    /// even when a run ends with span tails conceptually still arriving.
+    /// *strictly* before it — the deadline `Stop` sorts first in its tick
+    /// ([`Event::canon_key`]), so a per-byte twin landing exactly on the
+    /// deadline fires (and counts) in the next run. Keeps the counter
+    /// bit-identical across [`SimMode`]s even when a run ends with span
+    /// tails conceptually still arriving.
     run_deadline: SimTime,
-    /// Simulated time when the current `run_until` call began (where the
-    /// previous one stopped). A byte arriving exactly at the deadline is
-    /// credited this run only if it was *sent* before this point: its
-    /// per-byte twin `RxByte` would then already be queued ahead of the
-    /// run's Stop event; a twin pushed mid-run sorts after the Stop and
-    /// fires (and counts) in the next run instead.
-    run_start: SimTime,
-    /// Span-tail bytes whose per-byte arrival slots lie beyond the current
-    /// deadline: `(first_slot, remaining, link_delay)`, credited by later
-    /// runs (the delay recovers each slot's send time for the
-    /// deadline-boundary rule above).
-    deferred_moves: Vec<(SimTime, u64, SimTime)>,
+    /// Span-tail bytes whose per-byte arrival slots lie at or beyond the
+    /// current deadline: `(first_slot, remaining)`, credited by whichever
+    /// later run covers their slots.
+    deferred_moves: Vec<(SimTime, u64)>,
+    /// Present when this network instance executes one shard of a
+    /// [`crate::shard::ShardedNetwork`]: channel-endpoint ownership,
+    /// outbound mailboxes and the worm tag registry. `None` (the
+    /// sequential engine) keeps every cross-shard check a single branch.
+    pub(crate) shard: Option<Box<crate::shard::ShardCtx>>,
+    /// Number of injects currently scheduled (sharding exposes this so the
+    /// merged quiescence check can sum it across shards).
+    pub(crate) pending_injects: i64,
+    /// Number of protocol timers currently scheduled (see
+    /// `pending_injects`).
+    pub(crate) pending_timers: i64,
 }
 
 impl Network {
@@ -381,16 +389,16 @@ impl Network {
             sources: (0..num_hosts).map(|_| None).collect(),
             rngs,
             fault_rng,
-            next_msg_id: 0,
+            next_msg_seq: vec![0; num_hosts],
             cmd_scratch: Vec::new(),
-            pending_injects: 0,
-            pending_timers: 0,
             pending_ctrl_trace: Vec::new(),
             watchdog_last_bytes: 0,
             deadlock_seen: None,
             run_deadline: 0,
-            run_start: 0,
             deferred_moves: Vec::new(),
+            shard: None,
+            pending_injects: 0,
+            pending_timers: 0,
         }
     }
 
@@ -467,105 +475,130 @@ impl Network {
     /// Run until `t_end` (or until the event queue drains, or a deadlock is
     /// detected by the watchdog / drain check).
     pub fn run_until(&mut self, t_end: SimTime) -> RunOutcome {
-        self.run_start = self.scheduler.now();
+        self.begin_run(t_end);
+        loop {
+            let Some((t, ev)) = self.scheduler.pop() else {
+                return self.finish_drained();
+            };
+            if let Some(outcome) = self.dispatch(t, ev) {
+                return outcome;
+            }
+        }
+    }
+
+    /// Run prologue shared by the sequential loop and the shard workers:
+    /// credit deferred span tails, arm the deadline Stop, arm the watchdog.
+    pub(crate) fn begin_run(&mut self, t_end: SimTime) {
         self.run_deadline = t_end;
         // Credit span-tail bytes a previous run left beyond its deadline:
-        // slots strictly before `t_end`, plus the slot at exactly `t_end`
-        // when that byte was sent before this run (see `run_start`).
-        let run_start = self.run_start;
-        self.deferred_moves.retain_mut(|(start, rem, delay)| {
-            let mut due = if *start > t_end {
+        // slots strictly before `t_end` (the slot at exactly `t_end` waits
+        // for a later run, like its per-byte twin behind the Stop event).
+        let mut moved = 0;
+        self.deferred_moves.retain_mut(|(start, rem)| {
+            let due = if *start > t_end {
                 0
             } else {
                 (t_end - *start).min(*rem)
             };
-            if due < *rem && *start + due == t_end && t_end.saturating_sub(*delay) < run_start {
-                due += 1;
-            }
-            self.stats.bytes_moved += due;
+            moved += due;
             *start += due;
             *rem -= due;
             *rem > 0
         });
+        self.stats.bytes_moved += moved;
         self.scheduler.at(t_end, Event::Stop);
-        if self.cfg.watchdog_interval > 0 {
+        // A shard engine skips the watchdog: its local view cannot tell a
+        // cross-shard stall from deadlock, so liveness analysis runs once
+        // on the merged state after the shards join.
+        if self.cfg.watchdog_interval > 0 && self.shard.is_none() {
             self.scheduler
                 .after(self.cfg.watchdog_interval, Event::Watchdog);
             self.watchdog_last_bytes = self.stats.bytes_moved;
         }
-        loop {
-            let Some((t, ev)) = self.scheduler.pop() else {
+    }
+
+    /// Run epilogue for a drained event queue: with outstanding worms this
+    /// is a deadlock (nothing can ever move again). A shard engine never
+    /// reaches this — its deadline Stop keeps the wheel non-empty.
+    pub(crate) fn finish_drained(&mut self) -> RunOutcome {
+        self.flush_ctrl_trace();
+        self.sync_event_stats();
+        let deadlock = if self.stats.active_worms > 0 {
+            Some(crate::deadlock::forensics(self))
+        } else {
+            None
+        };
+        RunOutcome {
+            end_time: self.scheduler.now(),
+            drained: true,
+            deadlock,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Execute one popped event. Returns `Some` when the run is over (the
+    /// deadline Stop fired).
+    pub(crate) fn dispatch(&mut self, t: SimTime, ev: Event) -> Option<RunOutcome> {
+        if let Some(&(t0, _, _)) = self.pending_ctrl_trace.first() {
+            if t > t0 {
                 self.flush_ctrl_trace();
-                self.sync_event_stats();
-                // Queue drained: with outstanding worms this is a deadlock
-                // (nothing can ever move again).
-                let deadlock = if self.stats.active_worms > 0 {
-                    Some(crate::deadlock::forensics(self))
-                } else {
-                    None
-                };
-                return RunOutcome {
-                    end_time: self.scheduler.now(),
-                    drained: true,
-                    deadlock,
-                    stats: self.stats.clone(),
-                };
-            };
-            if let Some(&(t0, _, _)) = self.pending_ctrl_trace.first() {
-                if t > t0 {
-                    self.flush_ctrl_trace();
-                }
             }
-            match ev {
-                Event::Stop => {
-                    if t >= t_end {
-                        self.flush_ctrl_trace();
-                        self.sync_event_stats();
-                        // Worms still outstanding at the deadline: check for
-                        // a genuine wait cycle so callers can tell overload
-                        // apart from deadlock.
-                        let deadlock = self.deadlock_seen.clone().or_else(|| {
+        }
+        match ev {
+            Event::Stop => {
+                if t >= self.run_deadline {
+                    self.flush_ctrl_trace();
+                    self.sync_event_stats();
+                    // Worms still outstanding at the deadline: check for
+                    // a genuine wait cycle so callers can tell overload
+                    // apart from deadlock. A shard engine leaves this to
+                    // the post-join merged analysis.
+                    let deadlock = if self.shard.is_some() {
+                        None
+                    } else {
+                        self.deadlock_seen.clone().or_else(|| {
                             if self.is_quiescent() {
                                 None
                             } else {
                                 crate::deadlock::analyze(self)
                             }
-                        });
-                        return RunOutcome {
-                            end_time: t,
-                            drained: self.is_quiescent(),
-                            deadlock,
-                            stats: self.stats.clone(),
-                        };
-                    }
+                        })
+                    };
+                    return Some(RunOutcome {
+                        end_time: t,
+                        drained: self.is_quiescent(),
+                        deadlock,
+                        stats: self.stats.clone(),
+                    });
                 }
-                Event::TxKick { ch, gen } => self.handle_tx_kick(ch, gen),
-                Event::RxByte { ch, byte } => self.handle_rx_byte(ch, byte),
-                Event::RxSpan { ch } => self.handle_rx_span(ch),
-                Event::CtrlRx { ch, sym } => self.handle_ctrl(ch, sym),
-                Event::Inject { host } => {
-                    self.pending_injects -= 1;
-                    self.handle_inject(host);
+            }
+            Event::TxKick { ch, gen } => self.handle_tx_kick(ch, gen),
+            Event::RxByte { ch, byte } => self.handle_rx_byte(ch, byte),
+            Event::RxSpan { ch } => self.handle_rx_span(ch),
+            Event::CtrlRx { ch, sym } => self.handle_ctrl(ch, sym),
+            Event::Inject { host } => {
+                self.pending_injects -= 1;
+                self.handle_inject(host);
+            }
+            Event::HostTimer { host, token } => {
+                self.pending_timers -= 1;
+                self.notify_timer(host, token);
+            }
+            Event::Watchdog => {
+                if self.stats.bytes_moved == self.watchdog_last_bytes
+                    && self.stats.active_worms > 0
+                    && self.deadlock_seen.is_none()
+                {
+                    self.deadlock_seen = Some(crate::deadlock::forensics(self));
                 }
-                Event::HostTimer { host, token } => {
-                    self.pending_timers -= 1;
-                    self.notify_timer(host, token);
-                }
-                Event::Watchdog => {
-                    if self.stats.bytes_moved == self.watchdog_last_bytes
-                        && self.stats.active_worms > 0
-                        && self.deadlock_seen.is_none()
-                    {
-                        self.deadlock_seen = Some(crate::deadlock::forensics(self));
-                    }
-                    self.watchdog_last_bytes = self.stats.bytes_moved;
-                    if !self.is_quiescent() {
-                        self.scheduler
-                            .after(self.cfg.watchdog_interval, Event::Watchdog);
-                    }
+                self.watchdog_last_bytes = self.stats.bytes_moved;
+                if !self.is_quiescent() {
+                    self.scheduler
+                        .after(self.cfg.watchdog_interval, Event::Watchdog);
                 }
             }
         }
+        None
     }
 
     /// The most recent deadlock report, if any watchdog tick found one.
@@ -593,6 +626,153 @@ impl Network {
         self.scheduler.at(at, Event::TxKick { ch, gen });
     }
 
+    // -- shard boundary handling --------------------------------------------
+
+    /// Install the sharding context (see [`crate::shard`]). Called once by
+    /// `ShardedNetwork::new` before any event runs.
+    pub(crate) fn install_shard_ctx(&mut self, ctx: crate::shard::ShardCtx) {
+        debug_assert!(self.shard.is_none(), "shard context installed twice");
+        self.shard = Some(Box::new(ctx));
+    }
+
+    /// True when the transmit-side endpoint of `ch` lives in another shard
+    /// (its local channel copy is a dead mirror: `in_flight` stays 0).
+    #[inline]
+    pub(crate) fn chan_src_foreign(&self, ch: ChanId) -> bool {
+        match &self.shard {
+            None => false,
+            Some(s) => s.chan_src_owner[ch.0 as usize] != s.me,
+        }
+    }
+
+    /// True when the receive-side endpoint of `ch` lives in another shard.
+    #[inline]
+    pub(crate) fn chan_dst_foreign(&self, ch: ChanId) -> bool {
+        match &self.shard {
+            None => false,
+            Some(s) => s.chan_dst_owner[ch.0 as usize] != s.me,
+        }
+    }
+
+    /// Deliver a control symbol to the transmit side of `ch` after its
+    /// propagation delay — locally, or across the shard boundary when the
+    /// transmit side is foreign.
+    pub(crate) fn send_ctrl(&mut self, ch: ChanId, sym: CtrlSym) {
+        let delay = self.channels[ch.0 as usize].delay;
+        if self.chan_src_foreign(ch) {
+            let ts = self.scheduler.now() + delay;
+            let s = self.shard.as_ref().expect("foreign src implies shard ctx");
+            let to = s.chan_src_owner[ch.0 as usize] as usize;
+            s.outboxes[to]
+                .as_ref()
+                .expect("cross-shard channel has a mailbox")
+                .lock()
+                .unwrap()
+                .push_back(crate::shard::BoundaryMsg::Ctrl { ts, ch, sym });
+        } else {
+            self.scheduler.after(delay, Event::CtrlRx { ch, sym });
+        }
+    }
+
+    /// Put `b` on cross-shard channel `ch`: enqueue the arrival in the
+    /// receive-side owner's mailbox, attaching the worm snapshot the first
+    /// time this shard sends that shard a byte of this worm.
+    fn send_boundary_byte(&mut self, ch: ChanId, ts: SimTime, b: crate::worm::WireByte) {
+        let (to, tag, need_snap) = {
+            let s = self.shard.as_mut().expect("boundary send implies shard ctx");
+            let to = s.chan_dst_owner[ch.0 as usize] as usize;
+            let tag = s.worm_tags.get(b.worm);
+            debug_assert_ne!(tag, u64::MAX, "worm crossed a boundary without a tag");
+            let mask = s.snap_sent.get_mut(b.worm);
+            let need = *mask & (1 << to) == 0;
+            *mask |= 1 << to;
+            (to, tag, need)
+        };
+        let snap = need_snap
+            .then(|| Box::new(crate::shard::WormSnap::of(&self.worms[b.worm.0 as usize])));
+        let s = self.shard.as_ref().expect("shard ctx present");
+        s.outboxes[to]
+            .as_ref()
+            .expect("cross-shard channel has a mailbox")
+            .lock()
+            .unwrap()
+            .push_back(crate::shard::BoundaryMsg::Rx {
+                ts,
+                ch,
+                tag,
+                kind: b.kind,
+                snap,
+            });
+    }
+
+    /// Enqueue one boundary message into the local wheel, materialising
+    /// the worm on first contact. Called by the shard worker loop while
+    /// draining its inbound mailboxes; the conservative horizon guarantees
+    /// `ts` has not been executed past.
+    pub(crate) fn ingest_boundary(&mut self, msg: crate::shard::BoundaryMsg) {
+        debug_assert!(
+            msg.ts() >= self.scheduler.now(),
+            "boundary message at {} arrived behind local time {}",
+            msg.ts(),
+            self.scheduler.now()
+        );
+        match msg {
+            crate::shard::BoundaryMsg::Rx {
+                ts,
+                ch,
+                tag,
+                kind,
+                snap,
+            } => {
+                let worm = self.worm_for_tag(tag, snap);
+                self.scheduler
+                    .at(ts, Event::RxByte { ch, byte: crate::worm::WireByte { worm, kind } });
+            }
+            crate::shard::BoundaryMsg::Ctrl { ts, ch, sym } => {
+                self.scheduler.at(ts, Event::CtrlRx { ch, sym });
+            }
+        }
+    }
+
+    /// Resolve a boundary worm tag to the local dense [`WormId`],
+    /// registering the worm from its snapshot on first contact. The
+    /// injecting shard counted the worm's statistics; a mirror counts
+    /// nothing here (its deliveries later drive this shard's
+    /// `active_worms` negative, which the merged statistics balance out).
+    fn worm_for_tag(&mut self, tag: u64, snap: Option<Box<crate::shard::WormSnap>>) -> WormId {
+        let s = self.shard.as_mut().expect("boundary ingest implies shard ctx");
+        if let Some(&w) = s.tag_to_worm.get(&tag) {
+            return w;
+        }
+        let snap = snap.expect("first boundary byte of a worm carries its snapshot");
+        let id = WormId(self.worms.len() as u32);
+        s.tag_to_worm.insert(tag, id);
+        *s.worm_tags.get_mut(id) = tag;
+        self.worms.push(snap.instantiate(id));
+        id
+    }
+
+    /// The canonical tag of a local worm (shard runs only). Used by the
+    /// merged deadlock analysis to name one worm consistently across the
+    /// shards that each hold a mirror of it under different dense ids.
+    pub(crate) fn worm_tag(&self, worm: WormId) -> Option<u64> {
+        let tag = self.shard.as_ref()?.worm_tags.get(worm);
+        (tag != u64::MAX).then_some(tag)
+    }
+
+    /// Sum of output-link utilization over the host adapters this engine
+    /// owns (unowned mirrors never carry bytes and contribute zero).
+    pub(crate) fn host_tx_utilization_total(&self, elapsed: SimTime) -> f64 {
+        if elapsed == 0 {
+            return 0.0;
+        }
+        self.adapters
+            .iter()
+            .filter_map(|a| a.chan_out)
+            .map(|ch| self.channels[ch.0 as usize].utilization(elapsed))
+            .sum()
+    }
+
     fn handle_tx_kick(&mut self, ch: ChanId, gen: u32) {
         let (src, stopped) = {
             let c = &self.channels[ch.0 as usize];
@@ -617,8 +797,15 @@ impl Network {
         match byte {
             Some(b) => {
                 let now = self.scheduler.now();
+                let dst_foreign = self.chan_dst_foreign(ch);
                 let c = &mut self.channels[ch.0 as usize];
-                c.in_flight += 1;
+                // A cross-shard channel's `in_flight` is owned by neither
+                // copy alone; both leave it 0 (and the span probes treat
+                // such channels as unbatchable), so skip the increment the
+                // receive-side owner will never see to decrement.
+                if !dst_foreign {
+                    c.in_flight += 1;
+                }
                 if matches!(b.kind, ByteKind::Idle) {
                     c.idles_carried += 1;
                 } else {
@@ -627,7 +814,11 @@ impl Network {
                 c.next_tx_time = now + 1;
                 let delay = c.delay;
                 let gen = c.kick_gen;
-                self.scheduler.after(delay, Event::RxByte { ch, byte: b });
+                if dst_foreign {
+                    self.send_boundary_byte(ch, now + delay, b);
+                } else {
+                    self.scheduler.after(delay, Event::RxByte { ch, byte: b });
+                }
                 self.scheduler.after(1, Event::TxKick { ch, gen });
                 // tx_active stays true: the follow-up kick is pending.
             }
@@ -656,6 +847,12 @@ impl Network {
         // tracing on, take the per-byte reference path so the emitted trace
         // is byte-exact and identical across [`SimMode`]s (DESIGN.md §3.2).
         if self.trace.enabled() {
+            return false;
+        }
+        // Bytes bound for another shard cross per-byte: the receive-side
+        // state needed to size a span lives over there. (Falling back to
+        // per-byte is always semantics-preserving.)
+        if self.chan_dst_foreign(ch) {
             return false;
         }
         let (src, dst, wire) = {
@@ -757,23 +954,15 @@ impl Network {
             return;
         }
         // Credit `bytes_moved` per-byte-exactly: byte `j` of the span
-        // conceptually arrives at `now + j`. Arrivals strictly before the
-        // run deadline always count; the arrival landing exactly on it
-        // counts only if sent before this run began (its per-byte twin
-        // would then be queued ahead of the Stop event — see `run_start`).
-        // The tail is credited by whichever later run covers its slots.
+        // conceptually arrives at `now + j`, and only arrivals strictly
+        // before the run deadline count — its per-byte twin would sort
+        // behind the deadline's Stop event ([`Event::canon_key`]) and fire
+        // next run. The tail is credited by whichever later run covers it.
         let now = self.scheduler.now();
-        let mut counted = span.len.min(self.run_deadline.saturating_sub(now));
-        if counted < span.len
-            && now + counted == self.run_deadline
-            && span.start + counted < self.run_start
-        {
-            counted += 1;
-        }
+        let counted = span.len.min(self.run_deadline.saturating_sub(now));
         self.stats.bytes_moved += counted;
         if counted < span.len {
-            self.deferred_moves
-                .push((now + counted, span.len - counted, now - span.start));
+            self.deferred_moves.push((now + counted, span.len - counted));
         }
         debug_assert!(
             self.flushed_count == 0,
@@ -853,8 +1042,13 @@ impl Network {
 
     fn handle_rx_byte(&mut self, ch: ChanId, byte: crate::worm::WireByte) {
         let dst = {
+            // Bytes from a foreign transmit side never incremented the
+            // local `in_flight` copy (see `handle_tx_kick`).
+            let src_foreign = self.chan_src_foreign(ch);
             let c = &mut self.channels[ch.0 as usize];
-            c.in_flight -= 1;
+            if !src_foreign {
+                c.in_flight -= 1;
+            }
             c.dst
         };
         self.stats.bytes_moved += 1;
@@ -968,8 +1162,9 @@ impl Network {
             self.scheduler.after(delay, Event::Inject { host });
         }
         if let Some(sm) = m {
-            let msg = MessageId(self.next_msg_id);
-            self.next_msg_id += 1;
+            let seq = &mut self.next_msg_seq[host.0 as usize];
+            let msg = MessageId(((host.0 as u64) << 40) | *seq);
+            *seq += 1;
             self.stats.messages_generated += 1;
             let app = AppMessage {
                 msg,
@@ -1206,6 +1401,17 @@ impl Network {
         };
         let sinks = inst.sinks.max(1) as u64;
         self.worms.push(inst);
+        if let Some(s) = self.shard.as_mut() {
+            // Tag the worm with its globally unique identity so boundary
+            // bytes can name it in other shards. Allocation order follows
+            // the injecting host's own event order, which the canonical
+            // schedule makes identical to the sequential engine's.
+            let seq = &mut s.next_worm_seq[host.0 as usize];
+            let tag = ((host.0 as u64) << 40) | *seq;
+            *seq += 1;
+            *s.worm_tags.get_mut(id) = tag;
+            s.tag_to_worm.insert(tag, id);
+        }
         self.stats.worms_injected += 1;
         self.stats.sinks_injected += sinks;
         self.stats.active_worms += sinks as i64;

@@ -210,8 +210,11 @@ impl<'a> ProtocolCtx<'a> {
 /// A host-adapter protocol. Implementations live in `wormcast-core`.
 ///
 /// All callbacks are invoked synchronously from the event loop; effects are
-/// requested through [`ProtocolCtx`] commands.
-pub trait AdapterProtocol {
+/// requested through [`ProtocolCtx`] commands. `Send` so a [`Network`] can
+/// be moved onto a shard worker thread ([`crate::shard::ShardedNetwork`]).
+///
+/// [`Network`]: crate::network::Network
+pub trait AdapterProtocol: Send {
     /// The local application generated a message to send.
     fn on_generate(&mut self, ctx: &mut ProtocolCtx, msg: AppMessage);
 
@@ -240,8 +243,10 @@ pub trait AdapterProtocol {
 }
 
 /// A per-host traffic source: decides when the next message is generated and
-/// what it looks like. Implementations live in `wormcast-traffic`.
-pub trait TrafficSource {
+/// what it looks like. Implementations live in `wormcast-traffic`. `Send`
+/// for the same reason as [`AdapterProtocol`]: sharded runs move each
+/// engine onto its own worker thread.
+pub trait TrafficSource: Send {
     /// Called at each injection event for this host. Returns the message to
     /// send now (if any) and the delay until the next injection event (or
     /// `None` to stop generating).

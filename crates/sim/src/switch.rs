@@ -7,7 +7,7 @@
 //! extensions of Section 3 (worm replication in the crossbar) plug in via
 //! [`crate::switchcast`].
 
-use crate::engine::{CtrlSym, Event, SwitchId};
+use crate::engine::{CtrlSym, SwitchId};
 use crate::link::ChanId;
 use crate::network::Network;
 use crate::time::SimTime;
@@ -240,11 +240,7 @@ impl Network {
         }
         if crossed_stop {
             if let Some(ch) = chan_in {
-                let delay = self.channels[ch.0 as usize].delay;
-                self.scheduler.after(delay, Event::CtrlRx {
-                    ch,
-                    sym: CtrlSym::Stop,
-                });
+                self.send_ctrl(ch, CtrlSym::Stop);
             }
         }
         self.switch_advance_input(sw, port);
@@ -533,6 +529,14 @@ impl Network {
         // byte-time can land, so `occupancy + wire_bytes` bounds occupancy
         // throughout the window in both modes; below the stop mark, neither
         // mode can emit a STOP while the run drains.
+        // Bytes fed across a shard boundary: the local `in_flight` copy of
+        // the incoming channel reads 0 no matter what is on the wire, which
+        // would wrongly enable batching — stay on the per-byte path.
+        if let Some(c) = inp.chan_in {
+            if self.chan_src_foreign(c) {
+                return None;
+            }
+        }
         let wire = inp
             .chan_in
             .map(|c| self.channels[c.0 as usize].in_flight as u64)
@@ -607,11 +611,7 @@ impl Network {
         );
         if crossed_stop {
             if let Some(ch) = chan_in {
-                let delay = self.channels[ch.0 as usize].delay;
-                self.scheduler.after(delay, Event::CtrlRx {
-                    ch,
-                    sym: CtrlSym::Stop,
-                });
+                self.send_ctrl(ch, CtrlSym::Stop);
             }
         }
         self.switch_advance_input(sw, port);
@@ -631,11 +631,7 @@ impl Network {
         };
         if send_go {
             if let Some(ch) = chan_in {
-                let delay = self.channels[ch.0 as usize].delay;
-                self.scheduler.after(delay, Event::CtrlRx {
-                    ch,
-                    sym: CtrlSym::Go,
-                });
+                self.send_ctrl(ch, CtrlSym::Go);
             }
         }
     }

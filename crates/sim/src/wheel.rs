@@ -15,9 +15,18 @@
 //! consulted only when the whole wheel is empty (see the horizon invariant
 //! on [`TimingWheel::pop`]).
 //!
-//! Determinism: events that share a timestamp are delivered in the order they
-//! were scheduled (FIFO by a monotonic sequence number), regardless of which
-//! internal structure they travelled through.
+//! Determinism: events that share a timestamp are delivered in ascending
+//! order of an *ordering key* computed at push time (see
+//! [`TimingWheel::with_order`]); entries with equal keys fire in the order
+//! they were scheduled (FIFO by a monotonic sequence number), regardless of
+//! which internal structure they travelled through. The default key is
+//! constant, which degenerates to plain schedule-order FIFO.
+//!
+//! The key exists for the sharded engine: a canonical same-timestamp order
+//! that depends only on the event itself (not on push order) is what lets a
+//! partitioned simulation — where boundary events are pushed by a different
+//! thread at a nondeterministic wall-clock moment — replay the sequential
+//! engine's schedule exactly.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -29,16 +38,17 @@ const WHEEL_SLOTS: usize = 4096;
 /// Words of the slot-occupancy bitmap (64 slots per `u64`).
 const OCC_WORDS: usize = WHEEL_SLOTS / 64;
 
-/// An entry waiting in the overflow heap, ordered by `(time, seq)`.
+/// An entry waiting in the overflow heap, ordered by `(time, key, seq)`.
 struct Overflow<T> {
     time: u64,
+    key: u64,
     seq: u64,
     item: T,
 }
 
 impl<T> PartialEq for Overflow<T> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.key == other.key && self.seq == other.seq
     }
 }
 impl<T> Eq for Overflow<T> {}
@@ -49,7 +59,7 @@ impl<T> PartialOrd for Overflow<T> {
 }
 impl<T> Ord for Overflow<T> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+        (self.time, self.key, self.seq).cmp(&(other.time, other.key, other.seq))
     }
 }
 
@@ -72,14 +82,19 @@ impl<T> Ord for Overflow<T> {
 /// assert_eq!(w.pop(), Some((1_000_000, "overflow-horizon")));
 /// ```
 pub struct TimingWheel<T> {
-    slots: Vec<Vec<(u64, u64, T)>>,
+    /// `(time, key, seq, item)` per entry; `key` is the ordering key
+    /// computed at push time by `order`.
+    slots: Vec<Vec<(u64, u64, u64, T)>>,
     /// Slot-occupancy bitmap: bit `s` of word `s / 64` is set iff
     /// `slots[s]` is non-empty. Kept exactly in sync by push/pop/fold.
     occupied: [u64; OCC_WORDS],
     /// The earliest time `pop` may still return. Everything below has fired.
     now: u64,
-    /// Monotonic tie-breaker so same-time events fire in schedule order.
+    /// Monotonic tie-breaker so equal-key same-time events fire in schedule
+    /// order.
     seq: u64,
+    /// Same-timestamp ordering key (see [`Self::with_order`]).
+    order: fn(&T) -> u64,
     overflow: BinaryHeap<Reverse<Overflow<T>>>,
     len: usize,
     /// Lifetime counter of `push` calls (engine cost metric).
@@ -95,8 +110,16 @@ impl<T> Default for TimingWheel<T> {
 }
 
 impl<T> TimingWheel<T> {
-    /// Create an empty wheel positioned at time 0.
+    /// Create an empty wheel positioned at time 0 with plain FIFO
+    /// same-timestamp ordering (constant key).
     pub fn new() -> Self {
+        Self::with_order(|_| 0)
+    }
+
+    /// Create an empty wheel whose same-timestamp delivery order is
+    /// ascending `order(item)`, ties broken by schedule order. The key is
+    /// evaluated once, at push time.
+    pub fn with_order(order: fn(&T) -> u64) -> Self {
         let mut slots = Vec::with_capacity(WHEEL_SLOTS);
         slots.resize_with(WHEEL_SLOTS, Vec::new);
         TimingWheel {
@@ -104,6 +127,7 @@ impl<T> TimingWheel<T> {
             occupied: [0; OCC_WORDS],
             now: 0,
             seq: 0,
+            order,
             overflow: BinaryHeap::new(),
             len: 0,
             pushed: 0,
@@ -155,16 +179,22 @@ impl<T> TimingWheel<T> {
             self.now
         );
         let time = time.max(self.now);
+        let key = (self.order)(&item);
         let seq = self.seq;
         self.seq += 1;
         self.len += 1;
         self.pushed += 1;
         if time - self.now < WHEEL_SLOTS as u64 {
             let slot = (time as usize) & (WHEEL_SLOTS - 1);
-            self.slots[slot].push((time, seq, item));
+            self.slots[slot].push((time, key, seq, item));
             self.mark_occupied(slot);
         } else {
-            self.overflow.push(Reverse(Overflow { time, seq, item }));
+            self.overflow.push(Reverse(Overflow {
+                time,
+                key,
+                seq,
+                item,
+            }));
         }
     }
 
@@ -175,7 +205,7 @@ impl<T> TimingWheel<T> {
             if top.time - self.now < WHEEL_SLOTS as u64 {
                 let Reverse(o) = self.overflow.pop().expect("peeked");
                 let slot = (o.time as usize) & (WHEEL_SLOTS - 1);
-                self.slots[slot].push((o.time, o.seq, o.item));
+                self.slots[slot].push((o.time, o.key, o.seq, o.item));
                 self.mark_occupied(slot);
             } else {
                 break;
@@ -249,16 +279,16 @@ impl<T> TimingWheel<T> {
         let slot = (self.now as usize) & (WHEEL_SLOTS - 1);
         let due = &mut self.slots[slot];
         debug_assert!(!due.is_empty(), "advanced to an empty slot");
-        // Entries are almost always already seq-ordered (pushes are
-        // monotonic), but overflow folding can interleave; find the
-        // minimum seq.
+        // Select the minimum `(key, seq)` entry. The slot is usually tiny
+        // (a handful of events per byte-time), so a linear scan beats any
+        // ordered structure.
         let mut best = 0;
         for i in 1..due.len() {
-            if due[i].1 < due[best].1 {
+            if (due[i].1, due[i].2) < (due[best].1, due[best].2) {
                 best = i;
             }
         }
-        let (time, _seq, item) = due.swap_remove(best);
+        let (time, _key, _seq, item) = due.swap_remove(best);
         debug_assert_eq!(time, self.now, "slot held an entry off its slot time");
         if due.is_empty() {
             self.mark_empty(slot);
@@ -490,6 +520,29 @@ mod tests {
             let (t, _) = w.pop().expect("peek said non-empty");
             assert_eq!(peeked, t);
         }
+    }
+
+    /// A keyed wheel delivers same-timestamp entries in key order, ties in
+    /// schedule order — across the wheel/overflow boundary and across
+    /// pushes made *while* the slot is draining.
+    #[test]
+    fn keyed_order_within_same_time() {
+        let mut w: TimingWheel<(u64, char)> = TimingWheel::with_order(|&(k, _)| k);
+        w.push(10_000, (2, 'c')); // overflow from now=0
+        w.push(5, (9, 'x'));
+        assert_eq!(w.pop(), Some((5, (9, 'x'))));
+        w.push(10_000, (1, 'a')); // still overflow from now=5
+        w.push(10_000, (3, 'd')); // overflow
+        assert_eq!(w.peek_time(), Some(10_000));
+        assert_eq!(w.pop(), Some((10_000, (1, 'a'))));
+        // Push mid-drain with the smallest key: it must still come next.
+        w.push(10_000, (0, 'z'));
+        w.push(10_000, (2, 'b')); // equal key to 'c', scheduled later
+        assert_eq!(w.pop(), Some((10_000, (0, 'z'))));
+        assert_eq!(w.pop(), Some((10_000, (2, 'c'))));
+        assert_eq!(w.pop(), Some((10_000, (2, 'b'))));
+        assert_eq!(w.pop(), Some((10_000, (3, 'd'))));
+        assert!(w.is_empty());
     }
 
     /// Differential test against a reference binary heap.

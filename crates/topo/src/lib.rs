@@ -18,12 +18,15 @@
 //!   multicast trees** ([`tree`], Section 6) over group members, both
 //!   respecting the ascending-host-ID rule that makes buffer deadlocks
 //!   impossible;
-//! * random irregular topologies ([`irregular`]) for property tests.
+//! * random irregular topologies ([`irregular`]) for property tests;
+//! * cut-based fabric partitioning ([`partition`]) for sharded parallel
+//!   simulation: switch→shard plans with cut/lookahead analysis.
 
 pub mod graph;
 pub mod hamiltonian;
 pub mod hostgraph;
 pub mod irregular;
+pub mod partition;
 pub mod shufflenet;
 pub mod torus;
 pub mod tree;
@@ -31,6 +34,7 @@ pub mod updown;
 
 pub use graph::{TopoBuilder, Topology};
 pub use hamiltonian::{hamiltonian_circuit, CircuitStrategy};
+pub use partition::ShardPlan;
 pub use hostgraph::HostGraph;
 pub use tree::{MulticastTree, TreeShape};
 pub use updown::UpDown;

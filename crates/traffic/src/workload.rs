@@ -100,13 +100,30 @@ pub fn install_paper_sources(
     groups: &Arc<GroupSet>,
     seed: u64,
 ) {
+    install_paper_sources_for(net, workload, groups, seed, |_| true);
+}
+
+/// Like [`install_paper_sources`], but only installs sources on hosts the
+/// caller `owns`. The stagger stream is drawn for *every* host in order
+/// regardless, so the start time of host `h` is identical whether the
+/// fabric is simulated whole or sharded — the property the sharded
+/// engine's byte-for-byte equivalence rests on.
+pub fn install_paper_sources_for(
+    net: &mut Network,
+    workload: PaperWorkload,
+    groups: &Arc<GroupSet>,
+    seed: u64,
+    owned: impl Fn(HostId) -> bool,
+) {
     let num_hosts = net.num_hosts();
     let mut stagger = host_stream(seed, 0x057A_66E2);
     for h in 0..num_hosts as u32 {
         let host = HostId(h);
         let src = PaperSource::new(workload, Arc::clone(groups), num_hosts, seed, host);
         let first = stagger.gen_range(0..src.arrivals.mean_interarrival.max(1.0) as u64 + 1);
-        net.set_source(host, Box::new(src), first);
+        if owned(host) {
+            net.set_source(host, Box::new(src), first);
+        }
     }
 }
 
