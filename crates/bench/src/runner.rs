@@ -5,6 +5,7 @@ use std::sync::Arc;
 use wormcast_core::Membership;
 use wormcast_sim::config::ConfigError;
 use wormcast_sim::fault::FaultConfig;
+use wormcast_sim::link::LaneArbiterKind;
 use wormcast_sim::network::{NetStats, NetworkConfig, RunOutcome, SimMode};
 use wormcast_sim::time::SimTime;
 use wormcast_sim::shard::ShardedNetwork;
@@ -49,6 +50,10 @@ pub struct SimSetup {
     /// Explicit switch→shard plan; `None` derives a balanced contiguous
     /// plan from the up/down root ([`ShardPlan::bfs_contiguous`]).
     pub shard_plan: Option<ShardPlan>,
+    /// Lanes per switch-to-switch link (1 = the paper's single-lane links).
+    pub lanes: u8,
+    /// Lane-selection policy for multi-lane links.
+    pub arbiter: LaneArbiterKind,
 }
 
 impl SimSetup {
@@ -76,6 +81,8 @@ impl SimSetup {
                 faults: FaultConfig::default(),
                 shards: 1,
                 shard_plan: None,
+                lanes: 1,
+                arbiter: LaneArbiterKind::default(),
             },
         }
     }
@@ -95,6 +102,8 @@ impl SimSetup {
             .mode(self.mode)
             .trace(self.trace)
             .faults(self.faults)
+            .lanes(self.lanes)
+            .arbiter(self.arbiter)
             .build()
     }
 }
@@ -161,6 +170,19 @@ impl SimSetupBuilder {
     pub fn shard_plan(mut self, plan: ShardPlan) -> Self {
         self.setup.shards = plan.num_shards();
         self.setup.shard_plan = Some(plan);
+        self
+    }
+
+    /// Lanes per switch-to-switch link (virtual channels); 1 — the
+    /// default — reproduces the paper's single-lane Myrinet byte-for-byte.
+    pub fn lanes(mut self, lanes: u8) -> Self {
+        self.setup.lanes = lanes;
+        self
+    }
+
+    /// Lane-selection policy for multi-lane links (ignored with one lane).
+    pub fn arbiter(mut self, arbiter: LaneArbiterKind) -> Self {
+        self.setup.arbiter = arbiter;
         self
     }
 

@@ -43,7 +43,7 @@ fn required_fields(ev: &str) -> Option<&'static [&'static str]> {
         "blocked" | "resumed" => &["worm"],
         "fragment-parked" | "fragment-resumed" => &["worm", "host", "body_got"],
         "delivered" => &["msg", "host"],
-        "stop" | "go" => &["ch"],
+        "stop" | "go" => &["ch", "lane"],
         _ => return None,
     })
 }
@@ -170,7 +170,7 @@ mod tests {
 {\"t\":1,\"ev\":\"worm-injected\",\"worm\":0,\"host\":0}
 not json at all
 {\"t\":2,\"ev\":\"no-such-event\"}
-{\"t\":1,\"ev\":\"stop\",\"ch\":4}
+{\"t\":1,\"ev\":\"stop\",\"ch\":4,\"lane\":0}
 {\"t\":3,\"ev\":\"blocked\",\"worm\":1,\"cause\":\"stop\"}
 {\"t\":4,\"ev\":\"delivered\",\"msg\":2}
 ";

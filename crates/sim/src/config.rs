@@ -7,6 +7,7 @@
 //! violations come back as a typed [`ConfigError`] instead of an abort.
 
 use crate::fault::FaultConfig;
+use crate::link::LaneArbiterKind;
 use crate::network::{NetworkConfig, SimMode};
 use crate::switch::SlackCfg;
 use crate::switchcast::SwitchcastMode;
@@ -29,6 +30,10 @@ pub enum ConfigError {
         field: &'static str,
         reason: String,
     },
+    /// A link was declared with zero propagation delay — the simulator
+    /// needs at least one byte-time per hop (`index` names which entry
+    /// of `field` was zero).
+    ZeroDelay { field: &'static str, index: usize },
 }
 
 impl fmt::Display for ConfigError {
@@ -41,6 +46,9 @@ impl fmt::Display for ConfigError {
                 max,
             } => write!(f, "{field} = {value} is outside [{min}, {max}]"),
             ConfigError::Invalid { field, reason } => write!(f, "{field}: {reason}"),
+            ConfigError::ZeroDelay { field, index } => {
+                write!(f, "{field}[{index}]: link delay must be >= 1 byte-time")
+            }
         }
     }
 }
@@ -106,9 +114,37 @@ impl NetworkConfigBuilder {
         self
     }
 
+    /// Lanes per switch-to-switch link (virtual channels). 1 — the
+    /// default — reproduces the paper's single-lane Myrinet byte-for-byte;
+    /// individual links can override via [`crate::network::LinkSpec::lanes`].
+    pub fn lanes(mut self, lanes: u8) -> Self {
+        self.cfg.lanes = lanes;
+        self
+    }
+
+    /// Lane-selection policy for multi-lane links (ignored with one lane).
+    pub fn arbiter(mut self, arbiter: LaneArbiterKind) -> Self {
+        self.cfg.arbiter = arbiter;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<NetworkConfig, ConfigError> {
         let cfg = self.cfg;
+        if cfg.lanes == 0 {
+            return Err(ConfigError::OutOfRange {
+                field: "lanes",
+                value: 0.0,
+                min: 1.0,
+                max: u8::MAX as f64,
+            });
+        }
+        if cfg.lanes > 1 && cfg.switchcast != SwitchcastMode::Off {
+            return Err(ConfigError::Invalid {
+                field: "lanes",
+                reason: "switch-level multicast requires single-lane links".into(),
+            });
+        }
         if !(0.0..=1.0).contains(&cfg.corrupt_prob) {
             return Err(ConfigError::OutOfRange {
                 field: "corrupt_prob",
@@ -222,5 +258,38 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, ConfigError::OutOfRange { .. }));
+    }
+
+    #[test]
+    fn rejects_zero_lanes() {
+        let err = NetworkConfig::builder().lanes(0).build().unwrap_err();
+        assert!(matches!(err, ConfigError::OutOfRange { field: "lanes", .. }));
+    }
+
+    #[test]
+    fn rejects_lanes_with_switchcast() {
+        let err = NetworkConfig::builder()
+            .lanes(2)
+            .switchcast(SwitchcastMode::IdleFlush)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Invalid { field: "lanes", .. }));
+    }
+
+    #[test]
+    fn lanes_and_arbiter_round_trip() {
+        let cfg = NetworkConfig::builder()
+            .lanes(4)
+            .arbiter(crate::link::LaneArbiterKind::LeastOccupied)
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.lanes, 4);
+        assert_eq!(cfg.arbiter, crate::link::LaneArbiterKind::LeastOccupied);
+    }
+
+    #[test]
+    fn zero_delay_error_displays_location() {
+        let e = ConfigError::ZeroDelay { field: "links", index: 3 };
+        assert!(e.to_string().contains("links[3]"));
     }
 }

@@ -164,11 +164,11 @@ fn node_worm(net: &Network, node: WaitNode) -> Option<WormId> {
 /// the upstream output's owner input, or the upstream host.
 fn upstream_producer(net: &Network, sw: SwitchId, port: u8) -> Option<(WaitNode, ChanId)> {
     let ch = net.switches[sw.0 as usize].inputs[port as usize].chan_in?;
-    let src = net.channels[ch.0 as usize].src;
+    let src = net.lane(ch).src();
     match src.node {
         NodeRef::Host(h) => Some((WaitNode::HostTx(h), ch)),
         NodeRef::Switch(up) => {
-            let owner = net.switches[up.0 as usize].outputs[src.port as usize].owner?;
+            let owner = net.switches[up.0 as usize].outputs[src.port.index()].owner?;
             Some((WaitNode::SwitchIn(up, owner), ch))
         }
     }
@@ -193,28 +193,32 @@ pub fn wait_edges(net: &Network) -> Vec<WaitEdge> {
             match &inp.state {
                 InState::Idle | InState::Draining { .. } => {}
                 InState::Requesting { out, worm } => {
-                    if let Some(owner) = sw.outputs[*out as usize].owner {
-                        push(
-                            net,
-                            me,
-                            WaitNode::SwitchIn(sw.id, owner),
-                            Some(*worm),
-                            WaitCause::OutputHeldBy {
-                                switch: sw.id,
-                                out: *out,
-                            },
-                        );
+                    // `out` is the physical port; the head waits on every
+                    // lane's current owner (any one freeing unblocks it).
+                    for slot in sw.slots_of(*out) {
+                        if let Some(owner) = sw.outputs[slot].owner {
+                            push(
+                                net,
+                                me,
+                                WaitNode::SwitchIn(sw.id, owner),
+                                Some(*worm),
+                                WaitCause::OutputHeldBy {
+                                    switch: sw.id,
+                                    out: *out,
+                                },
+                            );
+                        }
                     }
                 }
                 InState::Forwarding { out, worm } => {
                     if let Some(ch) = sw.outputs[*out as usize].chan_out {
-                        if net.channels[ch.0 as usize].stopped {
-                            let dst = net.channels[ch.0 as usize].dst;
+                        if net.lane(ch).is_stopped() {
+                            let dst = net.lane(ch).dst();
                             if let NodeRef::Switch(down) = dst.node {
                                 push(
                                     net,
                                     me,
-                                    WaitNode::SwitchIn(down, dst.port),
+                                    WaitNode::SwitchIn(down, dst.port.0),
                                     Some(*worm),
                                     WaitCause::StoppedDownstream { ch },
                                 );
@@ -236,13 +240,13 @@ pub fn wait_edges(net: &Network) -> Vec<WaitEdge> {
                     // Any stopped branch blocks the replica.
                     for b in &rep.branches {
                         if let Some(ch) = sw.outputs[b.out as usize].chan_out {
-                            if net.channels[ch.0 as usize].stopped {
-                                let dst = net.channels[ch.0 as usize].dst;
+                            if net.lane(ch).is_stopped() {
+                                let dst = net.lane(ch).dst();
                                 if let NodeRef::Switch(down) = dst.node {
                                     push(
                                         net,
                                         me,
-                                        WaitNode::SwitchIn(down, dst.port),
+                                        WaitNode::SwitchIn(down, dst.port.0),
                                         Some(rep.worm),
                                         WaitCause::BranchStopped { ch },
                                     );
@@ -259,13 +263,13 @@ pub fn wait_edges(net: &Network) -> Vec<WaitEdge> {
             continue;
         };
         if let Some(ch) = a.chan_out {
-            let c = &net.channels[ch.0 as usize];
-            if c.stopped {
-                if let NodeRef::Switch(sw) = c.dst.node {
+            let c = net.lane(ch);
+            if c.is_stopped() {
+                if let NodeRef::Switch(sw) = c.dst().node {
                     push(
                         net,
                         WaitNode::HostTx(a.id),
-                        WaitNode::SwitchIn(sw, c.dst.port),
+                        WaitNode::SwitchIn(sw, c.dst().port.0),
                         Some(head.worm),
                         WaitCause::HostLinkStopped { ch },
                     );
@@ -409,12 +413,12 @@ pub fn wait_edges_multi(
     // crossbar owner in *its* shard (the local mirror knows nothing).
     let upstream_multi = |net: &Network, sw: SwitchId, port: u8| -> Option<(WaitNode, ChanId)> {
         let ch = net.switches[sw.0 as usize].inputs[port as usize].chan_in?;
-        let src = net.channels[ch.0 as usize].src;
+        let src = net.lane(ch).src();
         match src.node {
             NodeRef::Host(h) => Some((WaitNode::HostTx(h), ch)),
             NodeRef::Switch(up) => {
                 let up_net = &nets[switch_owner[up.0 as usize] as usize];
-                let owner = up_net.switches[up.0 as usize].outputs[src.port as usize].owner?;
+                let owner = up_net.switches[up.0 as usize].outputs[src.port.index()].owner?;
                 Some((WaitNode::SwitchIn(up, owner), ch))
             }
         }
@@ -431,28 +435,30 @@ pub fn wait_edges_multi(
                 match &inp.state {
                     InState::Idle | InState::Draining { .. } => {}
                     InState::Requesting { out, worm } => {
-                        if let Some(owner) = sw.outputs[*out as usize].owner {
-                            let to = WaitNode::SwitchIn(sw.id, owner);
-                            raw.push(RawEdge {
-                                from: me,
-                                to,
-                                worm: Some((si, *worm)),
-                                holds: node_worm_multi(to),
-                                cause: WaitCause::OutputHeldBy {
-                                    switch: sw.id,
-                                    out: *out,
-                                },
-                            });
+                        for slot in sw.slots_of(*out) {
+                            if let Some(owner) = sw.outputs[slot].owner {
+                                let to = WaitNode::SwitchIn(sw.id, owner);
+                                raw.push(RawEdge {
+                                    from: me,
+                                    to,
+                                    worm: Some((si, *worm)),
+                                    holds: node_worm_multi(to),
+                                    cause: WaitCause::OutputHeldBy {
+                                        switch: sw.id,
+                                        out: *out,
+                                    },
+                                });
+                            }
                         }
                     }
                     InState::Forwarding { out, worm } => {
                         // The transmit-side STOP state of this input's
                         // outgoing channel is owned here (we are its src).
                         if let Some(ch) = sw.outputs[*out as usize].chan_out {
-                            if net.channels[ch.0 as usize].stopped {
-                                let dst = net.channels[ch.0 as usize].dst;
+                            if net.lane(ch).is_stopped() {
+                                let dst = net.lane(ch).dst();
                                 if let NodeRef::Switch(down) = dst.node {
-                                    let to = WaitNode::SwitchIn(down, dst.port);
+                                    let to = WaitNode::SwitchIn(down, dst.port.0);
                                     raw.push(RawEdge {
                                         from: me,
                                         to,
@@ -482,10 +488,10 @@ pub fn wait_edges_multi(
                     InState::Replicating(rep) => {
                         for b in &rep.branches {
                             if let Some(ch) = sw.outputs[b.out as usize].chan_out {
-                                if net.channels[ch.0 as usize].stopped {
-                                    let dst = net.channels[ch.0 as usize].dst;
+                                if net.lane(ch).is_stopped() {
+                                    let dst = net.lane(ch).dst();
                                     if let NodeRef::Switch(down) = dst.node {
-                                        let to = WaitNode::SwitchIn(down, dst.port);
+                                        let to = WaitNode::SwitchIn(down, dst.port.0);
                                         raw.push(RawEdge {
                                             from: me,
                                             to,
@@ -509,10 +515,10 @@ pub fn wait_edges_multi(
                 continue;
             };
             if let Some(ch) = a.chan_out {
-                let c = &net.channels[ch.0 as usize];
-                if c.stopped {
-                    if let NodeRef::Switch(sw) = c.dst.node {
-                        let to = WaitNode::SwitchIn(sw, c.dst.port);
+                let c = net.lane(ch);
+                if c.is_stopped() {
+                    if let NodeRef::Switch(sw) = c.dst().node {
+                        let to = WaitNode::SwitchIn(sw, c.dst().port.0);
                         raw.push(RawEdge {
                             from: WaitNode::HostTx(a.id),
                             to,

@@ -62,9 +62,13 @@ pub mod prelude {
     pub use crate::deadlock::DeadlockReport;
     pub use crate::engine::{HostId, SwitchId};
     pub use crate::fault::FaultConfig;
-    pub use crate::link::{ChanId, NodeRef};
+    pub use crate::link::{
+        ChanId, Lane, LaneArbiter, LaneArbiterKind, LaneCandidate, LeastOccupied, Link,
+        LinkId, LinkStats, NodeRef, PortId, RxPort, SeededRoundRobin, SpanInFlight, TxPort,
+    };
     pub use crate::network::{
-        FabricSpec, NetStats, Network, NetworkConfig, RunOutcome, SimMode,
+        FabricSpec, HostAttach, LinkSpec, NetStats, Network, NetworkConfig, RouteTable,
+        RunOutcome, SimMode,
     };
     pub use crate::protocol::{
         AdapterProtocol, Admission, Command, Destination, ProtocolCtx, SendSpec, SourceMessage,

@@ -1,9 +1,13 @@
 //! The network: fabric construction, the event loop, and protocol dispatch.
 
 use crate::adapter::{Adapter, TxWorm};
+use crate::config::ConfigError;
 use crate::deadlock::DeadlockReport;
 use crate::engine::{CtrlSym, Event, HostId, Scheduler, SwitchId};
-use crate::link::{ChanId, Channel, Endpoint, NodeRef, SpanInFlight};
+use crate::link::{
+    ChanId, Endpoint, Lane, LaneArbiterKind, Link, LinkId, NodeRef, PortId, RxPort, TxPayload,
+    TxPort,
+};
 use crate::protocol::{
     Admission, AdapterProtocol, AppMessage, Command, Destination, ProtocolCtx, SendSpec,
     TrafficSource,
@@ -28,9 +32,11 @@ pub struct HostAttach {
 /// A switch-to-switch link.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct LinkSpec {
-    pub a: (u32, u8),
-    pub b: (u32, u8),
+    pub a: (u32, PortId),
+    pub b: (u32, PortId),
     pub delay: SimTime,
+    /// Lanes per direction; 0 means "use [`NetworkConfig::lanes`]".
+    pub lanes: u8,
 }
 
 /// A complete fabric description, produced by `wormcast-topo`.
@@ -127,6 +133,15 @@ pub struct NetworkConfig {
     /// Link-transmission engine mode. `SpanBatched` (the default) is
     /// equivalence-tested against `PerByte` and only changes engine cost.
     pub mode: SimMode,
+    /// Lanes per switch-to-switch link (virtual-channel width). Host links
+    /// always have one lane (a host adapter injects at one byte per
+    /// byte-time regardless). A [`LinkSpec`] with a nonzero `lanes` field
+    /// overrides this per link. `1` reproduces the paper's single-lane
+    /// fabric byte-for-byte.
+    pub lanes: u8,
+    /// Which [`crate::link::LaneArbiter`] policy binds granted worms to
+    /// free lanes (irrelevant with one lane per link).
+    pub arbiter: LaneArbiterKind,
 }
 
 impl Default for NetworkConfig {
@@ -140,6 +155,8 @@ impl Default for NetworkConfig {
             trace: TraceConfig::Off,
             switchcast: SwitchcastMode::Off,
             mode: SimMode::SpanBatched,
+            lanes: 1,
+            arbiter: LaneArbiterKind::RoundRobin,
         }
     }
 }
@@ -216,7 +233,13 @@ pub struct Network {
     pub scheduler: Scheduler,
     pub switches: Vec<Switch>,
     pub adapters: Vec<Adapter>,
-    pub channels: Vec<Channel>,
+    /// Dense lane slab, indexed by [`ChanId`]. Crate-private: external
+    /// reads go through [`Network::lanes`] / [`Network::lane`], engine
+    /// mutation through the typed lane-port surface in [`crate::link`].
+    pub(crate) lanes: Vec<Lane>,
+    /// Directed-link metadata; each entry's lanes are a contiguous
+    /// [`ChanId`] range in `lanes`.
+    pub(crate) links: Vec<Link>,
     pub worms: Vec<WormInstance>,
     pub stats: NetStats,
     pub msgs: MessageLog,
@@ -281,66 +304,178 @@ pub struct Network {
 }
 
 impl Network {
-    /// Build a network from a fabric description and unicast route table.
+    /// Build a network from a fabric description and unicast route table,
+    /// panicking on an invalid fabric. Prefer [`Network::try_build`] (or
+    /// the bench runner's validating `SimSetup` builder) to get a typed
+    /// [`ConfigError`] instead.
     pub fn build(spec: &FabricSpec, routes: RouteTable, cfg: NetworkConfig) -> Self {
+        Self::try_build(spec, routes, cfg).unwrap_or_else(|e| panic!("invalid fabric: {e}"))
+    }
+
+    /// Build a network, surfacing fabric/configuration violations (zero
+    /// link delays, lane/switchcast conflicts, slot overflow) as a typed
+    /// [`ConfigError`].
+    pub fn try_build(
+        spec: &FabricSpec,
+        routes: RouteTable,
+        cfg: NetworkConfig,
+    ) -> Result<Self, ConfigError> {
         assert_eq!(
             routes.num_hosts(),
             spec.hosts.len(),
             "route table size must match host count"
         );
-        let mut switches: Vec<Switch> = spec
+        for (i, l) in spec.links.iter().enumerate() {
+            if l.delay == 0 {
+                return Err(ConfigError::ZeroDelay {
+                    field: "links",
+                    index: i,
+                });
+            }
+        }
+        if spec.host_link_delay == 0 && !spec.hosts.is_empty() {
+            return Err(ConfigError::ZeroDelay {
+                field: "host_link_delay",
+                index: 0,
+            });
+        }
+        if cfg.lanes == 0 {
+            return Err(ConfigError::OutOfRange {
+                field: "lanes",
+                value: 0.0,
+                min: 1.0,
+                max: u8::MAX as f64,
+            });
+        }
+        // Effective lane count per spec link (0 defers to the config).
+        let link_lanes: Vec<u8> = spec
+            .links
+            .iter()
+            .map(|l| if l.lanes == 0 { cfg.lanes } else { l.lanes })
+            .collect();
+        if link_lanes.iter().any(|&n| n > 1) && cfg.switchcast != SwitchcastMode::Off {
+            return Err(ConfigError::Invalid {
+                field: "lanes",
+                reason: "switch-level multicast requires single-lane links".into(),
+            });
+        }
+
+        // Per-switch, per-physical-port lane counts (unlinked and
+        // host-facing ports keep one slot so slot indices stay aligned).
+        let mut port_lanes: Vec<Vec<u8>> = spec
             .switch_ports
             .iter()
+            .map(|&p| vec![1u8; p as usize])
+            .collect();
+        for (l, &n) in spec.links.iter().zip(&link_lanes) {
+            port_lanes[l.a.0 as usize][l.a.1.index()] = n;
+            port_lanes[l.b.0 as usize][l.b.1.index()] = n;
+        }
+        for (i, pl) in port_lanes.iter().enumerate() {
+            let slots: u32 = pl.iter().map(|&n| n as u32).sum();
+            if slots > u8::MAX as u32 {
+                return Err(ConfigError::Invalid {
+                    field: "lanes",
+                    reason: format!("switch {i} needs {slots} port slots (max 255)"),
+                });
+            }
+        }
+
+        let mut switches: Vec<Switch> = port_lanes
+            .iter()
             .enumerate()
-            .map(|(i, &p)| {
+            .map(|(i, pl)| {
                 Switch::new(
                     SwitchId(i as u32),
-                    p,
+                    pl,
                     cfg.slack.unwrap_or_else(|| SlackCfg::for_delay(1)),
+                    |port| {
+                        cfg.arbiter
+                            .instantiate(cfg.seed, ((i as u64) << 8) | port as u64)
+                    },
                 )
             })
             .collect();
         let mut adapters: Vec<Adapter> = (0..spec.hosts.len())
             .map(|i| Adapter::new(HostId(i as u32)))
             .collect();
-        let mut channels: Vec<Channel> = Vec::new();
+        let mut lanes: Vec<Lane> = Vec::new();
+        let mut links: Vec<Link> = Vec::new();
 
-        let add_pair = |channels: &mut Vec<Channel>, a: Endpoint, b: Endpoint, delay| {
-            let ia = ChanId(channels.len() as u32);
-            let ib = ChanId(channels.len() as u32 + 1);
-            channels.push(Channel::new(ia, a, b, delay, ib));
-            channels.push(Channel::new(ib, b, a, delay, ia));
-            (ia, ib)
-        };
-
-        for l in &spec.links {
-            let ea = Endpoint {
-                node: NodeRef::Switch(SwitchId(l.a.0)),
-                port: l.a.1,
-            };
-            let eb = Endpoint {
-                node: NodeRef::Switch(SwitchId(l.b.0)),
-                port: l.b.1,
-            };
-            let (ab, ba) = add_pair(&mut channels, ea, eb, l.delay);
-            switches[l.a.0 as usize].outputs[l.a.1 as usize].chan_out = Some(ab);
-            switches[l.b.0 as usize].inputs[l.b.1 as usize].chan_in = Some(ab);
-            switches[l.b.0 as usize].outputs[l.b.1 as usize].chan_out = Some(ba);
-            switches[l.a.0 as usize].inputs[l.a.1 as usize].chan_in = Some(ba);
+        // One forward + one backward `Link` per spec entry; each direction's
+        // lanes are contiguous, lane `i` pairing with reverse lane `i`. With
+        // one lane the ids are exactly the historical (fwd, back) pairs.
+        for (l, &n) in spec.links.iter().zip(&link_lanes) {
+            let base = lanes.len() as u32;
+            let na = NodeRef::Switch(SwitchId(l.a.0));
+            let nb = NodeRef::Switch(SwitchId(l.b.0));
+            let fwd = LinkId(links.len() as u32);
+            let bwd = LinkId(links.len() as u32 + 1);
+            for i in 0..n {
+                let slot_a = switches[l.a.0 as usize].slot_of(l.a.1.0, i);
+                let slot_b = switches[l.b.0 as usize].slot_of(l.b.1.0, i);
+                let ea = Endpoint { node: na, port: PortId(slot_a) };
+                let eb = Endpoint { node: nb, port: PortId(slot_b) };
+                let ab = ChanId(base + i as u32);
+                let ba = ChanId(base + n as u32 + i as u32);
+                lanes.push(Lane::new(ab, ea, eb, l.delay, ba, fwd, i));
+                switches[l.a.0 as usize].outputs[slot_a as usize].chan_out = Some(ab);
+                switches[l.b.0 as usize].inputs[slot_b as usize].chan_in = Some(ab);
+            }
+            for i in 0..n {
+                let slot_a = switches[l.a.0 as usize].slot_of(l.a.1.0, i);
+                let slot_b = switches[l.b.0 as usize].slot_of(l.b.1.0, i);
+                let ea = Endpoint { node: na, port: PortId(slot_a) };
+                let eb = Endpoint { node: nb, port: PortId(slot_b) };
+                let ab = ChanId(base + i as u32);
+                let ba = ChanId(base + n as u32 + i as u32);
+                lanes.push(Lane::new(ba, eb, ea, l.delay, ab, bwd, i));
+                switches[l.b.0 as usize].outputs[slot_b as usize].chan_out = Some(ba);
+                switches[l.a.0 as usize].inputs[slot_a as usize].chan_in = Some(ba);
+            }
+            links.push(Link::new(fwd, (na, l.a.1), (nb, l.b.1), l.delay, ChanId(base), n));
+            links.push(Link::new(
+                bwd,
+                (nb, l.b.1),
+                (na, l.a.1),
+                l.delay,
+                ChanId(base + n as u32),
+                n,
+            ));
         }
+        // Host links always have a single lane: the adapter's injection
+        // rate is one byte per byte-time regardless.
         for (h, att) in spec.hosts.iter().enumerate() {
-            let eh = Endpoint {
-                node: NodeRef::Host(HostId(h as u32)),
-                port: 0,
-            };
-            let es = Endpoint {
-                node: NodeRef::Switch(SwitchId(att.switch)),
-                port: att.port,
-            };
-            let (hs, sh) = add_pair(&mut channels, eh, es, spec.host_link_delay);
+            let nh = NodeRef::Host(HostId(h as u32));
+            let ns = NodeRef::Switch(SwitchId(att.switch));
+            let slot = switches[att.switch as usize].slot_of(att.port, 0);
+            let eh = Endpoint { node: nh, port: PortId(0) };
+            let es = Endpoint { node: ns, port: PortId(slot) };
+            let hs = ChanId(lanes.len() as u32);
+            let sh = ChanId(lanes.len() as u32 + 1);
+            let up = LinkId(links.len() as u32);
+            let down = LinkId(links.len() as u32 + 1);
+            lanes.push(Lane::new(hs, eh, es, spec.host_link_delay, sh, up, 0));
+            lanes.push(Lane::new(sh, es, eh, spec.host_link_delay, hs, down, 0));
+            links.push(Link::new(
+                up,
+                (nh, PortId(0)),
+                (ns, PortId(att.port)),
+                spec.host_link_delay,
+                hs,
+                1,
+            ));
+            links.push(Link::new(
+                down,
+                (ns, PortId(att.port)),
+                (nh, PortId(0)),
+                spec.host_link_delay,
+                sh,
+                1,
+            ));
             adapters[h].chan_out = Some(hs);
-            switches[att.switch as usize].inputs[att.port as usize].chan_in = Some(hs);
-            switches[att.switch as usize].outputs[att.port as usize].chan_out = Some(sh);
+            switches[att.switch as usize].inputs[slot as usize].chan_in = Some(hs);
+            switches[att.switch as usize].outputs[slot as usize].chan_out = Some(sh);
             adapters[h].chan_in = Some(sh);
         }
 
@@ -350,7 +485,7 @@ impl Network {
             for sw in &mut switches {
                 for inp in &mut sw.inputs {
                     if let Some(ch) = inp.chan_in {
-                        inp.slack = SlackCfg::for_delay(channels[ch.0 as usize].delay);
+                        inp.slack = SlackCfg::for_delay(lanes[ch.0 as usize].delay());
                         inp.buf.reserve(inp.slack.capacity as usize);
                     }
                 }
@@ -358,7 +493,10 @@ impl Network {
         }
         for sw in &switches {
             for inp in &sw.inputs {
-                inp.slack.validate().expect("slack configuration invalid");
+                inp.slack.validate().map_err(|reason| ConfigError::Invalid {
+                    field: "slack",
+                    reason,
+                })?;
             }
         }
 
@@ -369,13 +507,14 @@ impl Network {
             .collect();
         let fault_rng = SmallRng::seed_from_u64(seed_rng.gen());
 
-        Network {
+        Ok(Network {
             trace: Trace::new(cfg.trace),
             cfg,
             scheduler: Scheduler::new(),
             switches,
             adapters,
-            channels,
+            lanes,
+            links,
             worms: Vec::new(),
             stats: NetStats::default(),
             msgs: MessageLog::default(),
@@ -399,11 +538,45 @@ impl Network {
             shard: None,
             pending_injects: 0,
             pending_timers: 0,
-        }
+        })
     }
 
     pub fn num_hosts(&self) -> usize {
         self.adapters.len()
+    }
+
+    /// Every directed lane in the fabric, indexed by [`ChanId`].
+    pub fn lanes(&self) -> &[Lane] {
+        &self.lanes
+    }
+
+    /// The lane carrying channel `ch`.
+    pub fn lane(&self, ch: ChanId) -> &Lane {
+        &self.lanes[ch.0 as usize]
+    }
+
+    /// Mutable access to a lane — flow control (`stop`/`go`) only; data
+    /// transfer goes through [`TxPort`]/[`RxPort`].
+    pub fn lane_mut(&mut self, ch: ChanId) -> &mut Lane {
+        &mut self.lanes[ch.0 as usize]
+    }
+
+    /// Every directed link (lane bundle) in the fabric, indexed by
+    /// [`LinkId`].
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The contiguous slice of lanes belonging to one directed link.
+    pub fn link_lanes(&self, link: LinkId) -> &[Lane] {
+        let l = &self.links[link.0 as usize];
+        let base = l.lane_id(0).0 as usize;
+        &self.lanes[base..base + l.num_lanes() as usize]
+    }
+
+    #[deprecated(note = "renamed to `lanes()`; a channel is now a `Lane`")]
+    pub fn channels(&self) -> &[Lane] {
+        &self.lanes
     }
 
     pub fn routes(&self) -> &RouteTable {
@@ -616,14 +789,10 @@ impl Network {
 
     /// Ensure the transmit side of `ch` has a pending `TxKick`.
     pub(crate) fn kick_channel(&mut self, ch: ChanId) {
-        let c = &mut self.channels[ch.0 as usize];
-        if c.tx_active || c.stopped {
-            return;
+        let now = self.scheduler.now();
+        if let Some((at, gen)) = self.lanes[ch.0 as usize].arm_kick(now) {
+            self.scheduler.at(at, Event::TxKick { ch, gen });
         }
-        c.tx_active = true;
-        let at = c.next_tx_time.max(self.scheduler.now());
-        let gen = c.kick_gen;
-        self.scheduler.at(at, Event::TxKick { ch, gen });
     }
 
     // -- shard boundary handling --------------------------------------------
@@ -658,7 +827,7 @@ impl Network {
     /// propagation delay — locally, or across the shard boundary when the
     /// transmit side is foreign.
     pub(crate) fn send_ctrl(&mut self, ch: ChanId, sym: CtrlSym) {
-        let delay = self.channels[ch.0 as usize].delay;
+        let delay = self.lanes[ch.0 as usize].delay();
         if self.chan_src_foreign(ch) {
             let ts = self.scheduler.now() + delay;
             let s = self.shard.as_ref().expect("foreign src implies shard ctx");
@@ -769,61 +938,58 @@ impl Network {
         self.adapters
             .iter()
             .filter_map(|a| a.chan_out)
-            .map(|ch| self.channels[ch.0 as usize].utilization(elapsed))
+            .map(|ch| self.lanes[ch.0 as usize].utilization(elapsed))
             .sum()
     }
 
     fn handle_tx_kick(&mut self, ch: ChanId, gen: u32) {
         let (src, stopped) = {
-            let c = &self.channels[ch.0 as usize];
-            if gen != c.kick_gen {
+            let c = &self.lanes[ch.0 as usize];
+            if !c.kick_is_current(gen) {
                 // This kick belonged to a span chain a STOP truncated; the
                 // GO that lifts the STOP starts a fresh chain.
                 return;
             }
-            (c.src, c.stopped)
+            (c.src(), c.is_stopped())
         };
         if stopped {
-            self.channels[ch.0 as usize].tx_active = false;
+            self.lanes[ch.0 as usize].set_tx_idle();
             return;
         }
         if self.cfg.mode == SimMode::SpanBatched && self.try_emit_span(ch) {
             return;
         }
         let byte = match src.node {
-            NodeRef::Switch(s) => self.switch_produce_byte(s, src.port),
+            NodeRef::Switch(s) => self.switch_produce_byte(s, src.port.0),
             NodeRef::Host(h) => self.adapter_produce_byte(h),
         };
         match byte {
             Some(b) => {
                 let now = self.scheduler.now();
-                let dst_foreign = self.chan_dst_foreign(ch);
-                let c = &mut self.channels[ch.0 as usize];
-                // A cross-shard channel's `in_flight` is owned by neither
-                // copy alone; both leave it 0 (and the span probes treat
-                // such channels as unbatchable), so skip the increment the
+                // A cross-shard lane's `in_flight` is owned by neither copy
+                // alone; both leave it 0 (and the span probes treat such
+                // lanes as unbatchable), so skip the increment the
                 // receive-side owner will never see to decrement.
-                if !dst_foreign {
-                    c.in_flight += 1;
-                }
-                if matches!(b.kind, ByteKind::Idle) {
-                    c.idles_carried += 1;
+                let dst_foreign = self.chan_dst_foreign(ch);
+                let payload = if matches!(b.kind, ByteKind::Idle) {
+                    TxPayload::Idle
                 } else {
-                    c.bytes_carried += 1;
-                }
-                c.next_tx_time = now + 1;
-                let delay = c.delay;
-                let gen = c.kick_gen;
+                    TxPayload::Data
+                };
+                let ticket = TxPort::new(&mut self.lanes[ch.0 as usize])
+                    .try_send(now, payload, !dst_foreign)
+                    .expect("armed kick fires at the lane's ready time");
                 if dst_foreign {
-                    self.send_boundary_byte(ch, now + delay, b);
+                    self.send_boundary_byte(ch, ticket.deliver_at, b);
                 } else {
-                    self.scheduler.after(delay, Event::RxByte { ch, byte: b });
+                    self.scheduler
+                        .at(ticket.deliver_at, Event::RxByte { ch, byte: b });
                 }
-                self.scheduler.after(1, Event::TxKick { ch, gen });
+                self.scheduler.after(1, Event::TxKick { ch, gen: ticket.gen });
                 // tx_active stays true: the follow-up kick is pending.
             }
             None => {
-                self.channels[ch.0 as usize].tx_active = false;
+                self.lanes[ch.0 as usize].set_tx_idle();
             }
         }
     }
@@ -856,17 +1022,17 @@ impl Network {
             return false;
         }
         let (src, dst, wire) = {
-            let c = &self.channels[ch.0 as usize];
-            (c.src, c.dst, c.in_flight as u64)
+            let c = &self.lanes[ch.0 as usize];
+            (c.src(), c.dst(), c.in_flight() as u64)
         };
         let Some((worm, avail)) = (match src.node {
-            NodeRef::Switch(s) => self.switch_span_ready(s, src.port),
+            NodeRef::Switch(s) => self.switch_span_ready(s, src.port.0),
             NodeRef::Host(h) => self.adapter_span_ready(h),
         }) else {
             return false;
         };
         let Some(room) = (match dst.node {
-            NodeRef::Switch(s) => self.switch_span_room(s, dst.port, wire),
+            NodeRef::Switch(s) => self.switch_span_room(s, dst.port.0, wire),
             NodeRef::Host(h) => self.adapter_span_room(h, worm),
         }) else {
             return false;
@@ -884,7 +1050,7 @@ impl Network {
         // Commit: dequeue the run from the producer...
         let producer_drained = match src.node {
             NodeRef::Switch(s) => {
-                let owner = self.switches[s.0 as usize].outputs[src.port as usize]
+                let owner = self.switches[s.0 as usize].outputs[src.port.index()]
                     .owner
                     .expect("span-ready output has an owner");
                 let inp = &mut self.switches[s.0 as usize].inputs[owner as usize];
@@ -910,28 +1076,19 @@ impl Network {
         };
         // ...and move it as one span.
         let now = self.scheduler.now();
-        let (delay, gen) = {
-            let c = &mut self.channels[ch.0 as usize];
-            c.in_flight += k as u32;
-            c.bytes_carried += k;
-            c.next_tx_time = now + k;
-            c.spans.push_back(SpanInFlight {
-                worm,
-                start: now,
-                len: k,
-            });
-            (c.delay, c.kick_gen)
-        };
-        self.scheduler.after(delay, Event::RxSpan { ch });
+        let ticket = TxPort::new(&mut self.lanes[ch.0 as usize])
+            .try_send(now, TxPayload::Span { worm, len: k }, true)
+            .expect("span probe ran at the lane's ready time");
+        self.scheduler.at(ticket.deliver_at, Event::RxSpan { ch });
         if producer_drained {
             // The span took everything the producer had; an end-of-span
             // kick would only find an empty buffer (the dominant event cost
             // at light load). Go idle instead: whatever refills the buffer
             // re-kicks via `kick_channel`, which paces the kick to
             // `next_tx_time`, so send slots are unchanged.
-            self.channels[ch.0 as usize].tx_active = false;
+            self.lanes[ch.0 as usize].set_tx_idle();
         } else {
-            self.scheduler.after(k, Event::TxKick { ch, gen });
+            self.scheduler.after(k, Event::TxKick { ch, gen: ticket.gen });
             // tx_active stays true: the end-of-span kick is pending.
         }
         true
@@ -941,12 +1098,7 @@ impl Network {
     /// one channel share FIFO wire order, so the queue front is always the
     /// arriving span.
     fn handle_rx_span(&mut self, ch: ChanId) {
-        let (dst, span) = {
-            let c = &mut self.channels[ch.0 as usize];
-            let span = c.spans.pop_front().expect("RxSpan without queued span");
-            c.in_flight -= span.len as u32;
-            (c.dst, span)
-        };
+        let (dst, span) = RxPort::new(&mut self.lanes[ch.0 as usize]).deliver_span();
         if span.len == 0 {
             // Fully revoked by a STOP truncation (only the already-sent
             // remainder of a span survives; an empty one is just the
@@ -969,7 +1121,7 @@ impl Network {
             "spans and flushes cannot coexist (switchcast gates the fast path)"
         );
         match dst.node {
-            NodeRef::Switch(s) => self.switch_rx_span(s, dst.port, span.worm, span.len),
+            NodeRef::Switch(s) => self.switch_rx_span(s, dst.port.0, span.worm, span.len),
             NodeRef::Host(h) => self.adapter_rx_span(h, span.worm, span.len),
         }
     }
@@ -984,38 +1136,13 @@ impl Network {
     /// and hand the revoked bytes back to the producer.
     fn truncate_spans(&mut self, ch: ChanId) {
         let now = self.scheduler.now();
-        let (revoked, worm) = {
-            let c = &mut self.channels[ch.0 as usize];
-            debug_assert!(
-                c.spans.iter().rev().skip(1).all(|s| s.start + s.len <= now),
-                "only the newest span can still be sending"
-            );
-            let Some(span) = c.spans.back_mut() else {
-                return;
-            };
-            if span.start + span.len <= now {
-                return;
-            }
-            let sent = (now - span.start).max(1).min(span.len);
-            let revoked = span.len - sent;
-            span.len = sent;
-            if revoked == 0 {
-                return;
-            }
-            let worm = span.worm;
-            c.in_flight -= revoked as u32;
-            c.bytes_carried -= revoked;
-            c.next_tx_time = now;
-            // Cancel the pending end-of-span kick; the GO that lifts this
-            // STOP will start a fresh chain at `next_tx_time`.
-            c.kick_gen = c.kick_gen.wrapping_add(1);
-            c.tx_active = false;
-            (revoked, worm)
+        let Some((worm, revoked)) = self.lanes[ch.0 as usize].truncate_newest_span(now) else {
+            return;
         };
-        let src = self.channels[ch.0 as usize].src;
+        let src = self.lanes[ch.0 as usize].src();
         match src.node {
             NodeRef::Switch(s) => {
-                let owner = self.switches[s.0 as usize].outputs[src.port as usize]
+                let owner = self.switches[s.0 as usize].outputs[src.port.index()]
                     .owner
                     .expect("truncated span has a crossbar owner");
                 let inp = &mut self.switches[s.0 as usize].inputs[owner as usize];
@@ -1041,23 +1168,17 @@ impl Network {
     }
 
     fn handle_rx_byte(&mut self, ch: ChanId, byte: crate::worm::WireByte) {
-        let dst = {
-            // Bytes from a foreign transmit side never incremented the
-            // local `in_flight` copy (see `handle_tx_kick`).
-            let src_foreign = self.chan_src_foreign(ch);
-            let c = &mut self.channels[ch.0 as usize];
-            if !src_foreign {
-                c.in_flight -= 1;
-            }
-            c.dst
-        };
+        // Bytes from a foreign transmit side never incremented the
+        // local `in_flight` copy (see `handle_tx_kick`).
+        let src_foreign = self.chan_src_foreign(ch);
+        let dst = RxPort::new(&mut self.lanes[ch.0 as usize]).deliver(!src_foreign);
         self.stats.bytes_moved += 1;
         // Bytes of a flushed (Backward Reset) worm evaporate on arrival.
         if self.flushed_count > 0 && self.discard_if_flushed(&byte) {
             return;
         }
         match dst.node {
-            NodeRef::Switch(s) => self.switch_rx_byte(s, dst.port, byte),
+            NodeRef::Switch(s) => self.switch_rx_byte(s, dst.port.0, byte),
             NodeRef::Host(h) => self.adapter_rx_byte(h, byte),
         }
     }
@@ -1066,34 +1187,30 @@ impl Network {
         let now = self.scheduler.now();
         match sym {
             CtrlSym::Stop => {
-                {
-                    let c = &mut self.channels[ch.0 as usize];
-                    c.stopped = true;
-                    // Stall-interval accounting runs whether or not tracing
-                    // is on; STOP/GO symbols are rare relative to bytes.
-                    if c.stalled_since.is_none() {
-                        c.stalled_since = Some(now);
-                        c.stalls += 1;
-                    }
-                }
+                // Stall-interval accounting runs inside `Lane::stop`
+                // whether or not tracing is on; STOP/GO symbols are rare
+                // relative to bytes.
+                let lane = {
+                    let l = &mut self.lanes[ch.0 as usize];
+                    l.stop(now);
+                    l.lane_index()
+                };
                 if self.cfg.mode == SimMode::SpanBatched {
                     self.truncate_spans(ch);
                 }
                 if self.trace.enabled() {
-                    self.trace.push(now, TraceEvent::StopInForce { ch });
+                    self.trace.push(now, TraceEvent::StopInForce { ch, lane });
                     self.pending_ctrl_trace.push((now, ch, true));
                 }
             }
             CtrlSym::Go => {
-                {
-                    let c = &mut self.channels[ch.0 as usize];
-                    c.stopped = false;
-                    if let Some(since) = c.stalled_since.take() {
-                        c.stall_total += now - since;
-                    }
-                }
+                let lane = {
+                    let l = &mut self.lanes[ch.0 as usize];
+                    l.go(now);
+                    l.lane_index()
+                };
                 if self.trace.enabled() {
-                    self.trace.push(now, TraceEvent::GoReceived { ch });
+                    self.trace.push(now, TraceEvent::GoReceived { ch, lane });
                     self.pending_ctrl_trace.push((now, ch, false));
                 }
                 self.kick_channel(ch);
@@ -1132,11 +1249,11 @@ impl Network {
     /// [`Self::flush_ctrl_trace`]), where crossbar/adapter state is
     /// identical in both [`SimMode`]s.
     fn channel_carried_worm(&self, ch: ChanId) -> Option<WormId> {
-        let c = &self.channels[ch.0 as usize];
-        match c.src.node {
+        let c = &self.lanes[ch.0 as usize];
+        match c.src().node {
             NodeRef::Switch(s) => {
                 let sw = &self.switches[s.0 as usize];
-                let owner = sw.outputs[c.src.port as usize].owner?;
+                let owner = sw.outputs[c.src().port.index()].owner?;
                 match &sw.inputs[owner as usize].state {
                     crate::switch::InState::Forwarding { worm, .. } => Some(*worm),
                     crate::switch::InState::Replicating(rep) => Some(rep.worm),
@@ -1450,11 +1567,12 @@ impl Network {
             ));
         }
         if s.active_worms == 0 {
-            for c in &self.channels {
-                if c.in_flight != 0 {
+            for c in &self.lanes {
+                if c.in_flight() != 0 {
                     return Err(format!(
-                        "channel {:?} has {} bytes in flight with no active worms",
-                        c.id, c.in_flight
+                        "lane {:?} has {} bytes in flight with no active worms",
+                        c.id(),
+                        c.in_flight()
                     ));
                 }
             }
@@ -1485,7 +1603,7 @@ impl Network {
             .adapters
             .iter()
             .filter_map(|a| a.chan_out)
-            .map(|ch| self.channels[ch.0 as usize].utilization(elapsed))
+            .map(|ch| self.lanes[ch.0 as usize].utilization(elapsed))
             .sum();
         total / self.adapters.len() as f64
     }

@@ -217,7 +217,7 @@ impl ShardedNetwork {
         for (i, n) in nets.iter().enumerate() {
             if n.switches.len() != n0.switches.len()
                 || n.adapters.len() != n0.adapters.len()
-                || n.channels.len() != n0.channels.len()
+                || n.lanes.len() != n0.lanes.len()
             {
                 return Err(format!("shard {i} was built from a different fabric"));
             }
@@ -227,7 +227,7 @@ impl ShardedNetwork {
         let host_owner: Vec<u32> = (0..n0.adapters.len())
             .map(|h| {
                 let ch = n0.adapters[h].chan_out.expect("host has an uplink");
-                match n0.channels[ch.0 as usize].dst.node {
+                match n0.lanes[ch.0 as usize].dst().node {
                     NodeRef::Switch(s) => switch_owner[s.0 as usize],
                     NodeRef::Host(_) => unreachable!("host uplink ends at a switch"),
                 }
@@ -238,28 +238,28 @@ impl ShardedNetwork {
             NodeRef::Host(h) => host_owner[h.0 as usize],
         };
 
-        let mut chan_src_owner = Vec::with_capacity(n0.channels.len());
-        let mut chan_dst_owner = Vec::with_capacity(n0.channels.len());
+        let mut chan_src_owner = Vec::with_capacity(n0.lanes.len());
+        let mut chan_dst_owner = Vec::with_capacity(n0.lanes.len());
         // Pairwise lookahead: the minimum latency of any channel between
         // the two shards, in either direction — data bytes cross with the
         // forward channel's delay, control symbols cross *back* with the
         // same channel's delay, so every channel bounds both directions.
         let mut lookahead = vec![vec![SimTime::MAX; num]; num];
-        for c in &n0.channels {
-            let a = owner(c.src.node);
-            let b = owner(c.dst.node);
+        for c in &n0.lanes {
+            let a = owner(c.src().node);
+            let b = owner(c.dst().node);
             chan_src_owner.push(a);
             chan_dst_owner.push(b);
             if a != b {
-                if c.delay == 0 {
+                if c.delay() == 0 {
                     return Err(format!(
                         "channel {:?} crosses shards {a}→{b} with zero latency (no lookahead)",
-                        c.id
+                        c.id()
                     ));
                 }
                 let (a, b) = (a as usize, b as usize);
-                lookahead[a][b] = lookahead[a][b].min(c.delay);
-                lookahead[b][a] = lookahead[b][a].min(c.delay);
+                lookahead[a][b] = lookahead[a][b].min(c.delay());
+                lookahead[b][a] = lookahead[b][a].min(c.delay());
             }
         }
 
@@ -454,11 +454,12 @@ impl ShardedNetwork {
                 return Err("boundary mailbox holds messages with no active worms".into());
             }
             for (i, n) in self.nets.iter().enumerate() {
-                for c in &n.channels {
-                    if c.in_flight != 0 {
+                for c in &n.lanes {
+                    if c.in_flight() != 0 {
                         return Err(format!(
-                            "shard {i}: channel {:?} has {} bytes in flight with no active worms",
-                            c.id, c.in_flight
+                            "shard {i}: lane {:?} has {} bytes in flight with no active worms",
+                            c.id(),
+                            c.in_flight()
                         ));
                     }
                 }

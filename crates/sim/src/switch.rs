@@ -8,7 +8,7 @@
 //! [`crate::switchcast`].
 
 use crate::engine::{CtrlSym, SwitchId};
-use crate::link::ChanId;
+use crate::link::{ChanId, LaneArbiter, LaneCandidate};
 use crate::network::Network;
 use crate::time::SimTime;
 use crate::worm::{ByteKind, RouteSym, WireByte, WormId, WormKind};
@@ -63,14 +63,21 @@ impl SlackCfg {
 }
 
 /// Input-port worm-processing state.
+///
+/// Port indices distinguish *physical* ports (what route bytes name) from
+/// *slots* (a physical port × lane pair; see [`Switch`]). `Requesting.out`
+/// is the physical port — the lane is not chosen until the grant —
+/// while `Forwarding.out` is the granted output slot. With single-lane
+/// links the two coincide.
 #[derive(Debug)]
 pub enum InState {
     /// Waiting for the head of a new worm; the next front byte must be a
     /// route byte.
     Idle,
-    /// Directive parsed; waiting for the output port to be granted.
+    /// Directive parsed; waiting for the (physical) output port to be
+    /// granted a lane.
     Requesting { worm: WormId, out: u8 },
-    /// Crossbar connection established; the output port pulls bytes from
+    /// Crossbar connection established; the output slot pulls bytes from
     /// this input's slack buffer.
     Forwarding { worm: WormId, out: u8 },
     /// Switch-level multicast replication in progress (Section 3).
@@ -117,18 +124,14 @@ impl InPort {
     }
 }
 
-/// An output port of a switch.
+/// An output slot of a switch: one lane of one physical output port.
 #[derive(Debug)]
 pub struct OutPort {
-    /// The channel this port transmits on (None if unconnected).
+    /// The lane this slot transmits on (None if unconnected).
     pub chan_out: Option<ChanId>,
-    /// Input port currently granted the crossbar connection.
+    /// Input slot currently granted the crossbar connection.
     pub owner: Option<u8>,
-    /// Input ports waiting for this output (worm heads blocked here).
-    pub waiting: Vec<u8>,
-    /// Round-robin pointer: the next arbitration starts scanning here.
-    pub rr_next: u8,
-    /// When this port last began transmitting IDLE fill bytes, if it is
+    /// When this slot last began transmitting IDLE fill bytes, if it is
     /// currently doing so (used by the multicast-IDLE flush scheme).
     pub idle_since: Option<SimTime>,
     /// Flagged as carrying IDLE fill from a blocked multicast.
@@ -140,29 +143,9 @@ impl OutPort {
         OutPort {
             chan_out: None,
             owner: None,
-            waiting: Vec::new(),
-            rr_next: 0,
             idle_since: None,
             multicast_idle: false,
         }
-    }
-
-    /// Pick the next waiting input in round-robin order (starting from
-    /// `rr_next`) and remove it from the waiting list.
-    pub fn arbitrate(&mut self, num_ports: u8) -> Option<u8> {
-        if self.waiting.is_empty() {
-            return None;
-        }
-        for step in 0..num_ports {
-            let cand = (self.rr_next + step) % num_ports;
-            if let Some(pos) = self.waiting.iter().position(|&w| w == cand) {
-                self.waiting.swap_remove(pos);
-                self.rr_next = (cand + 1) % num_ports;
-                return Some(cand);
-            }
-        }
-        // Waiting entries must always be valid port indices.
-        unreachable!("waiting list held an out-of-range port");
     }
 }
 
@@ -172,25 +155,135 @@ impl Default for OutPort {
     }
 }
 
-/// A crossbar switch.
+/// Per-physical-output-port arbitration state: the input slots queued for
+/// the port (input round-robin, exactly the historical policy) plus the
+/// pluggable [`LaneArbiter`] that picks among its free lanes.
 #[derive(Debug)]
-pub struct Switch {
-    pub id: SwitchId,
-    pub inputs: Vec<InPort>,
-    pub outputs: Vec<OutPort>,
+pub struct PortArb {
+    /// Input slots waiting for this physical port (worm heads blocked here).
+    pub waiting: Vec<u8>,
+    /// Round-robin pointer: the next arbitration starts scanning here.
+    pub rr_next: u8,
+    arbiter: Box<dyn LaneArbiter>,
 }
 
-impl Switch {
-    pub fn new(id: SwitchId, ports: u8, slack: SlackCfg) -> Self {
-        Switch {
-            id,
-            inputs: (0..ports).map(|_| InPort::new(slack)).collect(),
-            outputs: (0..ports).map(|_| OutPort::new()).collect(),
+impl PortArb {
+    pub(crate) fn new(arbiter: Box<dyn LaneArbiter>) -> Self {
+        PortArb {
+            waiting: Vec::new(),
+            rr_next: 0,
+            arbiter,
         }
     }
 
+    /// Pick the next waiting input slot in round-robin order (starting
+    /// from `rr_next`) and remove it from the waiting list.
+    pub fn arbitrate(&mut self, num_slots: u8) -> Option<u8> {
+        if self.waiting.is_empty() {
+            return None;
+        }
+        for step in 0..num_slots {
+            let cand = (self.rr_next + step) % num_slots;
+            if let Some(pos) = self.waiting.iter().position(|&w| w == cand) {
+                self.waiting.swap_remove(pos);
+                self.rr_next = (cand + 1) % num_slots;
+                return Some(cand);
+            }
+        }
+        // Waiting entries must always be valid slot indices.
+        unreachable!("waiting list held an out-of-range slot");
+    }
+
+    /// Delegate a free-lane choice to the pluggable arbiter.
+    pub(crate) fn pick_lane(&mut self, candidates: &[LaneCandidate], num_lanes: u8) -> usize {
+        let idx = self.arbiter.pick(candidates, num_lanes);
+        debug_assert!(idx < candidates.len(), "arbiter picked out of range");
+        idx.min(candidates.len() - 1)
+    }
+}
+
+/// A crossbar switch.
+///
+/// Inputs and outputs are indexed by *slot*: physical port `p`'s lanes
+/// occupy the contiguous slot range `slot_of(p, 0) .. slot_of(p, lanes_of(p))`.
+/// With single-lane links (the paper's Myrinet) slot indices equal
+/// physical port indices and the whole layer is invisible.
+#[derive(Debug)]
+pub struct Switch {
+    pub id: SwitchId,
+    /// Input slots.
+    pub inputs: Vec<InPort>,
+    /// Output slots.
+    pub outputs: Vec<OutPort>,
+    /// Per-physical-port arbitration state.
+    pub arbs: Vec<PortArb>,
+    slot_base: Vec<u8>,
+    slot_port: Vec<u8>,
+    port_lanes: Vec<u8>,
+}
+
+impl Switch {
+    pub(crate) fn new(
+        id: SwitchId,
+        port_lanes: &[u8],
+        slack: SlackCfg,
+        mut arb: impl FnMut(u8) -> Box<dyn LaneArbiter>,
+    ) -> Self {
+        let mut slot_base = Vec::with_capacity(port_lanes.len());
+        let mut slot_port = Vec::new();
+        let mut base = 0u8;
+        for (p, &n) in port_lanes.iter().enumerate() {
+            debug_assert!(n >= 1, "every port has at least one lane");
+            slot_base.push(base);
+            for _ in 0..n {
+                slot_port.push(p as u8);
+            }
+            base += n;
+        }
+        let slots = slot_port.len();
+        Switch {
+            id,
+            inputs: (0..slots).map(|_| InPort::new(slack)).collect(),
+            outputs: (0..slots).map(|_| OutPort::new()).collect(),
+            arbs: (0..port_lanes.len())
+                .map(|p| PortArb::new(arb(p as u8)))
+                .collect(),
+            slot_base,
+            slot_port,
+            port_lanes: port_lanes.to_vec(),
+        }
+    }
+
+    /// Number of physical ports.
     pub fn num_ports(&self) -> u8 {
-        self.inputs.len() as u8
+        self.port_lanes.len() as u8
+    }
+
+    /// Number of port slots (sum of lanes over physical ports).
+    pub fn num_slots(&self) -> u8 {
+        self.slot_port.len() as u8
+    }
+
+    /// The slot of lane `lane` of physical port `port`.
+    pub fn slot_of(&self, port: u8, lane: u8) -> u8 {
+        debug_assert!(lane < self.port_lanes[port as usize]);
+        self.slot_base[port as usize] + lane
+    }
+
+    /// The physical port a slot belongs to.
+    pub fn port_of_slot(&self, slot: u8) -> u8 {
+        self.slot_port[slot as usize]
+    }
+
+    /// Lanes of a physical port.
+    pub fn lanes_of(&self, port: u8) -> u8 {
+        self.port_lanes[port as usize]
+    }
+
+    /// The contiguous slot range of a physical port.
+    pub fn slots_of(&self, port: u8) -> std::ops::Range<usize> {
+        let b = self.slot_base[port as usize] as usize;
+        b..b + self.port_lanes[port as usize] as usize
     }
 }
 
@@ -355,21 +448,58 @@ impl Network {
         }
     }
 
-    /// An input port asks for an output port. Grants immediately when free,
+    /// An input slot asks for a *physical* output port. Grants a lane
+    /// immediately when one is free (the [`LaneArbiter`] picks which),
     /// otherwise queues the request for round-robin arbitration.
     pub(crate) fn switch_request_output(&mut self, sw: SwitchId, out: u8, in_port: u8) {
         let granted = {
-            let outp = &mut self.switches[sw.0 as usize].outputs[out as usize];
-            if outp.owner.is_none() {
-                outp.owner = Some(in_port);
-                true
+            let n = self.switches[sw.0 as usize].lanes_of(out);
+            if n == 1 {
+                // Single-lane fast path: the historical grant-or-queue,
+                // no arbiter consultation.
+                let swm = &mut self.switches[sw.0 as usize];
+                let slot = swm.slot_of(out, 0);
+                let outp = &mut swm.outputs[slot as usize];
+                if outp.owner.is_none() {
+                    outp.owner = Some(in_port);
+                    Some(slot)
+                } else {
+                    swm.arbs[out as usize].waiting.push(in_port);
+                    None
+                }
             } else {
-                outp.waiting.push(in_port);
-                false
+                let candidates: Vec<LaneCandidate> = {
+                    let swr = &self.switches[sw.0 as usize];
+                    let base = swr.slots_of(out).start;
+                    swr.slots_of(out)
+                        .filter_map(|s| {
+                            let o = &swr.outputs[s];
+                            if o.owner.is_some() {
+                                return None;
+                            }
+                            o.chan_out.map(|ch| LaneCandidate {
+                                lane: (s - base) as u8,
+                                in_flight: self.lanes[ch.0 as usize].in_flight(),
+                            })
+                        })
+                        .collect()
+                };
+                if candidates.is_empty() {
+                    self.switches[sw.0 as usize].arbs[out as usize]
+                        .waiting
+                        .push(in_port);
+                    None
+                } else {
+                    let swm = &mut self.switches[sw.0 as usize];
+                    let idx = swm.arbs[out as usize].pick_lane(&candidates, n);
+                    let slot = swm.slot_of(out, candidates[idx].lane);
+                    swm.outputs[slot as usize].owner = Some(in_port);
+                    Some(slot)
+                }
             }
         };
-        if granted {
-            self.switch_grant(sw, out, in_port);
+        if let Some(out_slot) = granted {
+            self.switch_grant(sw, out_slot, in_port);
         } else if self.trace.enabled() {
             if let Some((worm, cause)) = self.blocked_requester(sw, out, in_port) {
                 self.trace.push(
@@ -382,7 +512,8 @@ impl Network {
 
     /// The worm (and block cause) behind a queued output request: a plain
     /// head waiting on a busy output, or a switchcast replica branch
-    /// waiting at its branching node.
+    /// waiting at its branching node. `out` is the physical port — the
+    /// same index on the Blocked and Resumed sides, so causes pair up.
     fn blocked_requester(
         &self,
         sw: SwitchId,
@@ -402,14 +533,16 @@ impl Network {
         }
     }
 
-    /// Complete a grant: flip the input to Forwarding (or mark the replica
-    /// branch granted) and kick the output channel so it pulls bytes.
+    /// Complete a grant of output slot `out` to input slot `in_port`: flip
+    /// the input to Forwarding (or mark the replica branch granted) and
+    /// kick the output lane so it pulls bytes.
     fn switch_grant(&mut self, sw: SwitchId, out: u8, in_port: u8) {
+        let phys = self.switches[sw.0 as usize].port_of_slot(out);
         let replicating = {
             let inp = &mut self.switches[sw.0 as usize].inputs[in_port as usize];
             match inp.state {
                 InState::Requesting { worm, out: o } => {
-                    debug_assert_eq!(o, out);
+                    debug_assert_eq!(o, phys, "granted slot belongs to the requested port");
                     inp.state = InState::Forwarding { worm, out };
                     false
                 }
@@ -426,26 +559,31 @@ impl Network {
         }
     }
 
-    /// The output port finished a worm (tail went out): release the crossbar
-    /// connection and arbitrate among waiting inputs.
+    /// Output slot `out` finished a worm (tail went out): release the
+    /// crossbar connection and arbitrate the freed lane among the physical
+    /// port's waiting inputs.
     pub(crate) fn switch_release_output(&mut self, sw: SwitchId, out: u8) {
         let next = {
-            let num_ports = self.switches[sw.0 as usize].num_ports();
-            let outp = &mut self.switches[sw.0 as usize].outputs[out as usize];
-            outp.owner = None;
-            outp.idle_since = None;
-            outp.multicast_idle = false;
-            match outp.arbitrate(num_ports) {
+            let swm = &mut self.switches[sw.0 as usize];
+            let phys = swm.port_of_slot(out);
+            let num_slots = swm.num_slots();
+            {
+                let outp = &mut swm.outputs[out as usize];
+                outp.owner = None;
+                outp.idle_since = None;
+                outp.multicast_idle = false;
+            }
+            match swm.arbs[phys as usize].arbitrate(num_slots) {
                 Some(n) => {
-                    outp.owner = Some(n);
-                    Some(n)
+                    swm.outputs[out as usize].owner = Some(n);
+                    Some((n, phys))
                 }
                 None => None,
             }
         };
-        if let Some(in_port) = next {
+        if let Some((in_port, phys)) = next {
             if self.trace.enabled() {
-                if let Some((worm, cause)) = self.blocked_requester(sw, out, in_port) {
+                if let Some((worm, cause)) = self.blocked_requester(sw, phys, in_port) {
                     self.trace.push(
                         self.scheduler.now(),
                         crate::trace::TraceEvent::WormResumed { worm, cause },
@@ -539,7 +677,7 @@ impl Network {
         }
         let wire = inp
             .chan_in
-            .map(|c| self.channels[c.0 as usize].in_flight as u64)
+            .map(|c| self.lanes[c.0 as usize].in_flight() as u64)
             .unwrap_or(0);
         if inp.occupancy() as u64 + wire >= inp.slack.stop_mark as u64 {
             return None;
@@ -679,9 +817,13 @@ mod tests {
         assert!(bad2.validate().is_err());
     }
 
+    fn arb() -> PortArb {
+        PortArb::new(Box::new(crate::link::SeededRoundRobin::new(0)))
+    }
+
     #[test]
     fn arbitration_is_round_robin() {
-        let mut out = OutPort::new();
+        let mut out = arb();
         out.waiting = vec![0, 2, 3];
         // rr_next starts at 0 -> grants 0, pointer moves to 1.
         assert_eq!(out.arbitrate(4), Some(0));
@@ -695,10 +837,29 @@ mod tests {
 
     #[test]
     fn arbitration_wraps_around() {
-        let mut out = OutPort::new();
+        let mut out = arb();
         out.rr_next = 3;
         out.waiting = vec![0, 1];
         assert_eq!(out.arbitrate(4), Some(0));
         assert_eq!(out.arbitrate(4), Some(1));
+    }
+
+    #[test]
+    fn slot_layout_is_contiguous_per_port() {
+        let sw = Switch::new(
+            SwitchId(0),
+            &[1, 2, 1],
+            SlackCfg::for_delay(1),
+            |_| Box::new(crate::link::SeededRoundRobin::new(0)),
+        );
+        assert_eq!(sw.num_ports(), 3);
+        assert_eq!(sw.num_slots(), 4);
+        assert_eq!(sw.slot_of(0, 0), 0);
+        assert_eq!(sw.slot_of(1, 0), 1);
+        assert_eq!(sw.slot_of(1, 1), 2);
+        assert_eq!(sw.slot_of(2, 0), 3);
+        assert_eq!(sw.port_of_slot(2), 1);
+        assert_eq!(sw.slots_of(1), 1..3);
+        assert_eq!(sw.lanes_of(1), 2);
     }
 }

@@ -428,7 +428,7 @@ impl Network {
                         let to_switch = self.switches[sw.0 as usize].outputs[o as usize]
                             .chan_out
                             .map(|ch| {
-                                matches!(self.channels[ch.0 as usize].dst.node, NodeRef::Switch(_))
+                                matches!(self.lanes[ch.0 as usize].dst().node, NodeRef::Switch(_))
                             })
                             .unwrap_or(false);
                         BranchState {
@@ -861,7 +861,7 @@ impl Network {
     /// by hop (a Backward Reset) and its source is told to retransmit
     /// after a random timeout.
     pub(crate) fn switchcast_flush_waiters(&mut self, sw: SwitchId, out: u8) {
-        let waiting: Vec<u8> = self.switches[sw.0 as usize].outputs[out as usize]
+        let waiting: Vec<u8> = self.switches[sw.0 as usize].arbs[out as usize]
             .waiting
             .clone();
         for in_port in waiting {
@@ -881,7 +881,7 @@ impl Network {
             };
             if let Some(worm) = flushable {
                 // Remove it from the arbitration queue first.
-                let o = &mut self.switches[sw.0 as usize].outputs[out as usize];
+                let o = &mut self.switches[sw.0 as usize].arbs[out as usize];
                 o.waiting.retain(|&w| w != in_port);
                 self.flush_worm(worm, sw, in_port);
             }
@@ -936,13 +936,14 @@ impl Network {
             self.switch_advance_input(s, p);
             // Walk upstream.
             cur = match chan_in {
-                Some(ch) => match self.channels[ch.0 as usize].src.node {
+                Some(ch) => match self.lanes[ch.0 as usize].src().node {
                     NodeRef::Switch(up) => {
                         // Find the upstream output feeding this channel and
                         // its owner; continue only if that owner is still
                         // moving OUR worm.
-                        let src_port = self.channels[ch.0 as usize].src.port;
-                        let owner = self.switches[up.0 as usize].outputs[src_port as usize].owner;
+                        let src_port = self.lanes[ch.0 as usize].src().port;
+                        let owner =
+                            self.switches[up.0 as usize].outputs[src_port.index()].owner;
                         match owner {
                             Some(op)
                                 if matches!(
@@ -950,7 +951,7 @@ impl Network {
                                     InState::Forwarding { worm: w, .. } if *w == worm
                                 ) =>
                             {
-                                self.switch_release_output(up, src_port);
+                                self.switch_release_output(up, src_port.0);
                                 Some((up, op))
                             }
                             _ => None,

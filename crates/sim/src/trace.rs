@@ -90,10 +90,11 @@ pub enum TraceEvent {
     FragmentResumed { worm: WormId, host: HostId, body_got: u64 },
     /// The protocol delivered `msg` to the local host.
     Delivered { msg: MessageId, host: HostId },
-    /// A STOP took effect on the transmit side of `ch`.
-    StopInForce { ch: ChanId },
+    /// A STOP took effect on the transmit side of `ch` (lane `lane` of
+    /// its link; 0 on single-lane links).
+    StopInForce { ch: ChanId, lane: u8 },
     /// A GO released the transmit side of `ch`.
-    GoReceived { ch: ChanId },
+    GoReceived { ch: ChanId, lane: u8 },
 }
 
 impl TraceEvent {
@@ -280,11 +281,11 @@ pub fn jsonl_line(t: SimTime, ev: &TraceEvent) -> String {
         TraceEvent::Delivered { msg, host } => {
             let _ = write!(s, "\"delivered\",\"msg\":{},\"host\":{}", msg.0, host.0);
         }
-        TraceEvent::StopInForce { ch } => {
-            let _ = write!(s, "\"stop\",\"ch\":{}", ch.0);
+        TraceEvent::StopInForce { ch, lane } => {
+            let _ = write!(s, "\"stop\",\"ch\":{},\"lane\":{}", ch.0, lane);
         }
-        TraceEvent::GoReceived { ch } => {
-            let _ = write!(s, "\"go\",\"ch\":{}", ch.0);
+        TraceEvent::GoReceived { ch, lane } => {
+            let _ = write!(s, "\"go\",\"ch\":{},\"lane\":{}", ch.0, lane);
         }
     }
     s.push('}');
@@ -340,7 +341,7 @@ mod tests {
     #[test]
     fn for_host_ignores_channel_events() {
         let mut t = Trace::default();
-        t.push(1, TraceEvent::StopInForce { ch: ChanId(0) });
+        t.push(1, TraceEvent::StopInForce { ch: ChanId(0), lane: 0 });
         t.push(2, TraceEvent::WormInjected {
             worm: WormId(0),
             host: HostId(3),
@@ -354,7 +355,7 @@ mod tests {
     fn off_sink_records_nothing() {
         let mut t = Trace::new(TraceConfig::Off);
         assert!(!t.enabled());
-        t.push(1, TraceEvent::StopInForce { ch: ChanId(0) });
+        t.push(1, TraceEvent::StopInForce { ch: ChanId(0), lane: 0 });
         assert!(t.is_empty());
     }
 
@@ -378,15 +379,15 @@ mod tests {
         let mut t = Trace::default();
         // Two events at the same time, pushed in "wrong" lexicographic
         // order; to_jsonl must normalize.
-        t.push(7, TraceEvent::StopInForce { ch: ChanId(9) });
-        t.push(7, TraceEvent::GoReceived { ch: ChanId(1) });
+        t.push(7, TraceEvent::StopInForce { ch: ChanId(9), lane: 0 });
+        t.push(7, TraceEvent::GoReceived { ch: ChanId(1), lane: 0 });
         let a = t.to_jsonl();
         let mut t2 = Trace::default();
-        t2.push(7, TraceEvent::GoReceived { ch: ChanId(1) });
-        t2.push(7, TraceEvent::StopInForce { ch: ChanId(9) });
+        t2.push(7, TraceEvent::GoReceived { ch: ChanId(1), lane: 0 });
+        t2.push(7, TraceEvent::StopInForce { ch: ChanId(9), lane: 0 });
         assert_eq!(a, t2.to_jsonl());
         assert_eq!(a.lines().count(), 2);
-        assert!(a.starts_with("{\"t\":7,\"ev\":\"go\",\"ch\":1}\n"));
+        assert!(a.starts_with("{\"t\":7,\"ev\":\"go\",\"ch\":1,\"lane\":0}\n"));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! still names the blocked channel, the holding worm, and the cause.
 
 use wormcast_sim::engine::HostId;
+use wormcast_sim::link::PortId;
 use wormcast_sim::network::{FabricSpec, HostAttach, LinkSpec, RouteTable, SimMode};
 use wormcast_sim::protocol::{
     AdapterProtocol, AppMessage, Destination, ProtocolCtx, SendSpec, SourceMessage, TrafficSource,
@@ -47,9 +48,10 @@ fn ring_fabric() -> (FabricSpec, RouteTable) {
     let mut links = Vec::new();
     for i in 0..n {
         links.push(LinkSpec {
-            a: (i as u32, 0),
-            b: (((i + 1) % n) as u32, 1),
+            a: (i as u32, PortId(0)),
+            b: (((i + 1) % n) as u32, PortId(1)),
             delay: 1,
+            lanes: 0,
         });
     }
     let hosts: Vec<HostAttach> = (0..n)

@@ -8,6 +8,7 @@
 
 use proptest::prelude::*;
 use wormcast_sim::engine::HostId;
+use wormcast_sim::link::PortId;
 use wormcast_sim::network::{FabricSpec, HostAttach, LinkSpec, RouteTable};
 use wormcast_sim::protocol::{
     AdapterProtocol, AppMessage, Destination, ProtocolCtx, SendSpec, SourceMessage,
@@ -42,9 +43,10 @@ fn line_fabric(n: usize, delay: u64) -> (FabricSpec, RouteTable) {
         let b = next_port[s + 1];
         next_port[s + 1] += 1;
         links.push(LinkSpec {
-            a: (s as u32, a),
-            b: ((s + 1) as u32, b),
+            a: (s as u32, PortId(a)),
+            b: ((s + 1) as u32, PortId(b)),
             delay,
+            lanes: 0,
         });
     }
     let mut hosts = Vec::new();

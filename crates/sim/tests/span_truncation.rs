@@ -13,6 +13,7 @@
 #![allow(clippy::needless_range_loop)] // index math mirrors ports
 
 use wormcast_sim::engine::HostId;
+use wormcast_sim::link::PortId;
 use wormcast_sim::network::{FabricSpec, HostAttach, LinkSpec, RouteTable, SimMode};
 use wormcast_sim::protocol::{
     AdapterProtocol, AppMessage, Destination, ProtocolCtx, SendSpec, SourceMessage, TrafficSource,
@@ -64,9 +65,10 @@ fn contention_net(delay: u64, mode: SimMode, worm_len: u32, trace: TraceConfig) 
         let b = next_port[s + 1];
         next_port[s + 1] += 1;
         links.push(LinkSpec {
-            a: (s as u32, a),
-            b: ((s + 1) as u32, b),
+            a: (s as u32, PortId(a)),
+            b: ((s + 1) as u32, PortId(b)),
             delay,
+            lanes: 0,
         });
     }
     let mut hosts = Vec::new();

@@ -3,6 +3,7 @@
 //! covered by the workspace integration tests).
 
 use wormcast_sim::engine::HostId;
+use wormcast_sim::link::PortId;
 use wormcast_sim::network::{FabricSpec, HostAttach, LinkSpec, RouteTable};
 use wormcast_sim::protocol::{
     AdapterProtocol, AppMessage, Destination, ProtocolCtx, SendSpec, SourceMessage,
@@ -121,9 +122,10 @@ fn nested_directive_stamps_subtree_prefix() {
         ],
         // Switch 0 port 2 <-> switch 1 port 0.
         links: vec![LinkSpec {
-            a: (0, 2),
-            b: (1, 0),
+            a: (0, PortId(2)),
+            b: (1, PortId(0)),
             delay: 1,
+            lanes: 0,
         }],
         host_link_delay: 1,
     };

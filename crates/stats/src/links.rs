@@ -2,52 +2,60 @@
 //!
 //! The paper attributes its early saturation to "congestion around the
 //! root node" of the up/down tree. This module makes that visible: data
-//! and IDLE-fill utilization per directed channel, sorted hottest-first.
+//! and IDLE-fill utilization per directed lane, sorted hottest-first.
+//! Multi-lane links report one [`LinkLoad`] per lane, tagged with its
+//! lane index, so per-lane imbalance is observable.
 
-use wormcast_sim::link::NodeRef;
+use wormcast_sim::link::{NodeRef, PortId};
 use wormcast_sim::time::SimTime;
 use wormcast_sim::Network;
 
-/// One directed channel's load over a window.
+/// One directed lane's load over a window.
 #[derive(Clone, Copy, Debug)]
 pub struct LinkLoad {
-    /// Source and destination as (node, port) pairs.
-    pub from: (NodeRef, u8),
-    pub to: (NodeRef, u8),
+    /// Source and destination as (node, port-slot) pairs.
+    pub from: (NodeRef, PortId),
+    pub to: (NodeRef, PortId),
+    /// Lane index within the directed link (0 on single-lane links).
+    pub lane: u8,
     /// Data bytes per byte-time (0..=1).
     pub utilization: f64,
     /// IDLE fill bytes per byte-time (switch-level multicast waste).
     pub idle_utilization: f64,
-    /// Fraction of the window this channel spent under STOP backpressure.
+    /// Fraction of the window this lane spent under STOP backpressure.
     pub stall_fraction: f64,
-    /// Number of STOP intervals that began on this channel.
+    /// Number of STOP intervals that began on this lane.
     pub stalls: u64,
 }
 
-/// All channel loads, hottest first.
+/// All lane loads, hottest first.
 pub fn link_loads(net: &Network, elapsed: SimTime) -> Vec<LinkLoad> {
     let mut out: Vec<LinkLoad> = net
-        .channels
+        .lanes()
         .iter()
-        .map(|c| LinkLoad {
-            from: (c.src.node, c.src.port),
-            to: (c.dst.node, c.dst.port),
-            utilization: c.utilization(elapsed),
-            idle_utilization: if elapsed == 0 {
-                0.0
-            } else {
-                c.idles_carried as f64 / elapsed as f64
-            },
-            stall_fraction: c.stall_fraction(elapsed),
-            stalls: c.stalls,
+        .map(|c| {
+            let stats = c.stats();
+            LinkLoad {
+                from: (c.src().node, c.src().port),
+                to: (c.dst().node, c.dst().port),
+                lane: c.lane_index(),
+                utilization: c.utilization(elapsed),
+                idle_utilization: if elapsed == 0 {
+                    0.0
+                } else {
+                    stats.idles_carried as f64 / elapsed as f64
+                },
+                stall_fraction: c.stall_fraction(elapsed),
+                stalls: stats.stalls,
+            }
         })
         .collect();
     out.sort_by(|a, b| b.utilization.partial_cmp(&a.utilization).expect("no NaN"));
     out
 }
 
-/// The ratio of the hottest link's utilization to the mean over loaded
-/// links — the "hot spot factor" that explains early saturation under
+/// The ratio of the hottest lane's utilization to the mean over loaded
+/// lanes — the "hot spot factor" that explains early saturation under
 /// up/down routing (1.0 = perfectly balanced).
 pub fn hotspot_factor(net: &Network, elapsed: SimTime) -> f64 {
     let loads = link_loads(net, elapsed);
@@ -84,6 +92,7 @@ mod tests {
         assert_eq!(hotspot_factor(&net, 1000), 1.0);
         let loads = link_loads(&net, 1000);
         assert_eq!(loads.len(), 4, "two hosts x two directions");
+        assert!(loads.iter().all(|l| l.lane == 0));
         assert!(loads.iter().all(|l| l.utilization == 0.0));
         assert!(loads.iter().all(|l| l.stall_fraction == 0.0 && l.stalls == 0));
     }

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use wormcast_sim::engine::HostId;
+use wormcast_sim::link::PortId;
 use wormcast_sim::network::{FabricSpec, HostAttach, LinkSpec};
 use wormcast_sim::time::SimTime;
 
@@ -13,6 +14,8 @@ pub struct SwLink {
     pub b: usize,
     pub b_port: u8,
     pub delay: SimTime,
+    /// Lanes per direction; 0 defers to `NetworkConfig::lanes`.
+    pub lanes: u8,
 }
 
 /// A host attachment with its allocated switch port.
@@ -81,9 +84,10 @@ impl Topology {
                 .links
                 .iter()
                 .map(|l| LinkSpec {
-                    a: (l.a as u32, l.a_port),
-                    b: (l.b as u32, l.b_port),
+                    a: (l.a as u32, PortId(l.a_port)),
+                    b: (l.b as u32, PortId(l.b_port)),
                     delay: l.delay,
+                    lanes: l.lanes,
                 })
                 .collect(),
             host_link_delay: self.host_link_delay,
@@ -148,8 +152,16 @@ impl TopoBuilder {
     }
 
     /// Add a bidirectional link between two switches; ports are allocated
-    /// in call order. Returns the link index.
+    /// in call order. Returns the link index. The link inherits the
+    /// network-wide lane count; use [`TopoBuilder::link_with_lanes`] to pin
+    /// one.
     pub fn link(&mut self, a: usize, b: usize, delay: SimTime) -> usize {
+        self.link_with_lanes(a, b, delay, 0)
+    }
+
+    /// Add a bidirectional link with an explicit per-link lane count
+    /// (0 defers to `NetworkConfig::lanes`).
+    pub fn link_with_lanes(&mut self, a: usize, b: usize, delay: SimTime, lanes: u8) -> usize {
         assert_ne!(a, b, "self-links are not allowed");
         let a_port = self.alloc_port(a);
         let b_port = self.alloc_port(b);
@@ -159,6 +171,7 @@ impl TopoBuilder {
             b,
             b_port,
             delay,
+            lanes,
         });
         self.links.len() - 1
     }
