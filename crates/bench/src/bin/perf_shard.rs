@@ -5,18 +5,24 @@
 //! quadrant-partitioned parallel engine at 2 and 4 shards — and writes
 //! `results/BENCH_shard.json` with wall-clock speedups per point.
 //!
-//! Two gates:
+//! Three gates:
 //!
 //! * **Counter drift (always on):** every sharded run's `bytes_moved` /
 //!   `worms_delivered` must equal the sequential baseline measured in the
 //!   same process, and the 0.08/0.12 span-batched points must also match
 //!   the checked-in `results/BENCH_wallclock.json` "after" rows — sharding
 //!   must never change *what* is simulated. Exits non-zero on drift.
+//! * **Event inflation (always on):** the 4-shard run at the saturating
+//!   load must schedule at most 1.3× the sequential engine's events. This
+//!   pins the receive-side span admission protocol (DESIGN.md §3.4): if
+//!   cut links regress to per-byte crossing, inflation shoots back toward
+//!   3× and the bench fails regardless of hardware.
 //! * **Speedup (gated on hardware):** when the machine has at least 4
 //!   CPUs, the 4-shard run at the saturating load must be ≥ 2.5× the
 //!   sequential baseline. On smaller machines the ratio is recorded but
 //!   not enforced — conservative parallelism cannot beat sequential on a
-//!   single core.
+//!   single core. Any sub-1.0× sharded point prints a visible warning
+//!   either way.
 
 use serde::Serialize;
 use std::time::Instant;
@@ -37,6 +43,8 @@ const CFG: Fig10Config = Fig10Config {
 /// The saturating load whose 4-shard speedup the acceptance gate checks.
 const GATE_LOAD: f64 = 0.12;
 const GATE_SPEEDUP: f64 = 2.5;
+/// Hardware-independent ceiling on 4-shard event inflation vs sequential.
+const GATE_INFLATION: f64 = 1.3;
 
 #[derive(Serialize, Clone)]
 struct ShardRow {
@@ -50,6 +58,9 @@ struct ShardRow {
     bytes_moved: u64,
     worms_delivered: u64,
     events_scheduled: u64,
+    /// `events_scheduled` ÷ the sequential run's at the same load (1.0 for
+    /// the baseline row itself) — the engine-cost overhead of sharding.
+    event_inflation: f64,
 }
 
 #[derive(Serialize)]
@@ -151,6 +162,7 @@ fn main() {
     for &load in LOADS {
         let mut seq_wall = 0.0f64;
         let mut seq_counters = (0u64, 0u64);
+        let mut seq_events = 0u64;
         for &shards in SHARDS {
             let setup = point(load, shards);
             let (secs, stats) = if shards == 1 {
@@ -171,6 +183,7 @@ fn main() {
             if shards == 1 {
                 seq_wall = secs;
                 seq_counters = (stats.bytes_moved, stats.worms_delivered);
+                seq_events = stats.events_scheduled;
             } else if (stats.bytes_moved, stats.worms_delivered) != seq_counters {
                 eprintln!(
                     "perf-shard: DRIFT at load {load}: {shards} shards moved \
@@ -180,11 +193,22 @@ fn main() {
                 ok = false;
             }
             let speedup = seq_wall / secs;
+            let inflation = if shards == 1 {
+                1.0
+            } else {
+                stats.events_scheduled as f64 / seq_events as f64
+            };
             eprintln!(
                 "perf-shard load={load:.2} shards={shards}: {secs:.3}s = {:.0} \
-                 byte-times/s ({speedup:.2}x vs sequential)",
+                 byte-times/s ({speedup:.2}x vs sequential, {inflation:.2}x events)",
                 sim_horizon as f64 / secs
             );
+            if shards > 1 && speedup < 1.0 {
+                eprintln!(
+                    "perf-shard: WARNING — sharding made this point SLOWER than \
+                     sequential ({speedup:.2}x at load {load:.2}, {shards} shards)"
+                );
+            }
             rows.push(ShardRow {
                 load,
                 shards,
@@ -194,6 +218,7 @@ fn main() {
                 bytes_moved: stats.bytes_moved,
                 worms_delivered: stats.worms_delivered,
                 events_scheduled: stats.events_scheduled,
+                event_inflation: inflation,
             });
         }
     }
@@ -221,6 +246,20 @@ fn main() {
         .iter()
         .find(|r| r.load == GATE_LOAD && r.shards == 4)
         .expect("gate point measured");
+    if gate_row.event_inflation > GATE_INFLATION {
+        eprintln!(
+            "perf-shard: FAIL — {:.2}x event inflation at 4 shards (load \
+             {GATE_LOAD}), ceiling {GATE_INFLATION}x (cut links regressed to per-byte?)",
+            gate_row.event_inflation
+        );
+        ok = false;
+    } else {
+        eprintln!(
+            "perf-shard: {:.2}x event inflation at 4 shards (load {GATE_LOAD}) \
+             <= {GATE_INFLATION}x",
+            gate_row.event_inflation
+        );
+    }
     if gate_enforced {
         if gate_row.speedup_vs_sequential < GATE_SPEEDUP {
             eprintln!(

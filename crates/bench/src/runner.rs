@@ -328,7 +328,7 @@ pub fn build_sharded(setup: &SimSetup) -> Result<ShardedNetwork, String> {
     let nets = (0..plan.num_shards())
         .map(|s| build_network_owned(setup, |h| host_shard[h.0 as usize] == s))
         .collect();
-    ShardedNetwork::new(nets, plan.switch_shard().to_vec())
+    ShardedNetwork::new(nets, plan.switch_shard().to_vec()).map_err(|e| e.to_string())
 }
 
 /// Convert a traffic-crate group set into the protocols' membership table.

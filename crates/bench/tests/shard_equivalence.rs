@@ -187,6 +187,57 @@ fn adversarial_round_robin_plan_still_matches() {
     assert_equivalent("adversarial switch-hash", &seq, &sh);
 }
 
+/// Multi-lane boundary channels: with two virtual lanes per link, every
+/// cut channel is two independent byte streams, each lane carrying its own
+/// optimistic spans with its own mirror-truncation cutoff and NACK/credit
+/// optimism state. Both shard counts must stay byte-identical to the
+/// sequential two-lane run.
+#[test]
+fn torus_lanes2_matches_sharded() {
+    let mut seq = setup_on(
+        torus(4, 1),
+        Scheme::Hc(HcConfig::store_and_forward()),
+        SimMode::SpanBatched,
+    );
+    seq.lanes = 2;
+    for shards in [2u32, 4] {
+        let mut sh = setup_on(
+            torus(4, 1),
+            Scheme::Hc(HcConfig::store_and_forward()),
+            SimMode::SpanBatched,
+        );
+        sh.lanes = 2;
+        sh.shards = shards;
+        sh.shard_plan = Some(ShardPlan::torus_grid(4, shards).expect("plan"));
+        assert_equivalent(&format!("torus lanes=2 shards={shards}"), &seq, &sh);
+    }
+}
+
+/// The strongest adversarial cut: a parity checkerboard over the 4×4 torus
+/// (switch-hash on `x + y` rather than the raw index) puts **every**
+/// switch-to-switch link in the cut, so no worm ever advances a byte
+/// without crossing a shard boundary — every hot link exercises the
+/// optimistic-span / receive-side-truncation / credit-return protocol.
+/// Both engine modes must still match sequential byte for byte.
+#[test]
+fn adversarial_checkerboard_all_links_cut_still_matches() {
+    let topo = torus(4, 1);
+    let owner: Vec<u32> = (0..16).map(|i| ((i / 4 + i % 4) % 2) as u32).collect();
+    let plan = ShardPlan::from_assignment(2, owner).expect("plan");
+    assert_eq!(
+        plan.cut_links(&topo).len(),
+        topo.links.len(),
+        "checkerboard must cut every switch-to-switch link of the 4x4 torus"
+    );
+    for mode in [SimMode::PerByte, SimMode::SpanBatched] {
+        let seq = setup_on(topo.clone(), Scheme::Hc(HcConfig::store_and_forward()), mode);
+        let mut sh = setup_on(topo.clone(), Scheme::Hc(HcConfig::store_and_forward()), mode);
+        sh.shards = 2;
+        sh.shard_plan = Some(plan.clone());
+        assert_equivalent(&format!("checkerboard mode={mode:?}"), &seq, &sh);
+    }
+}
+
 /// The public entry point composes the same way: `run()` on a sharded
 /// setup returns the same report as the sequential engine.
 #[test]

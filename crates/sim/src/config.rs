@@ -34,6 +34,13 @@ pub enum ConfigError {
     /// needs at least one byte-time per hop (`index` names which entry
     /// of `field` was zero).
     ZeroDelay { field: &'static str, index: usize },
+    /// The sharded engine cannot reproduce the sequential schedule with
+    /// this feature enabled (switch-level multicast, fault injection or a
+    /// trace sink — all need the global event order).
+    Unshardable { feature: &'static str },
+    /// A channel crosses two shards with zero propagation delay, leaving
+    /// the conservative synchronization without lookahead.
+    ZeroLookahead { ch: u32, from: u32, to: u32 },
 }
 
 impl fmt::Display for ConfigError {
@@ -48,6 +55,15 @@ impl fmt::Display for ConfigError {
             ConfigError::Invalid { field, reason } => write!(f, "{field}: {reason}"),
             ConfigError::ZeroDelay { field, index } => {
                 write!(f, "{field}[{index}]: link delay must be >= 1 byte-time")
+            }
+            ConfigError::Unshardable { feature } => {
+                write!(f, "sharded execution requires {feature} to be off")
+            }
+            ConfigError::ZeroLookahead { ch, from, to } => {
+                write!(
+                    f,
+                    "channel {ch} crosses shards {from}->{to} with zero latency (no lookahead)"
+                )
             }
         }
     }

@@ -170,11 +170,34 @@ pub struct Lane {
     /// Kick generation: bumped when a STOP truncates an in-flight span so
     /// the span chain's already-scheduled end-of-span `TxKick` is ignored.
     kick_gen: u32,
+    /// Transmit-side owner of a cut lane only: whether optimistic spans may
+    /// go out (cleared by a `SpanNack`, restored by `SpanCredit`/`GO`).
+    span_optimism: bool,
+    /// Receive-side owner of a cut lane only: the send-slot cutoff implied
+    /// by the newest STOP this side emitted — a span's bytes at slots
+    /// `>= cutoff` were revoked at the (foreign) transmitter. 0 = never
+    /// stopped; monotone (a fresh STOP can only raise it).
+    foreign_stop_cutoff: SimTime,
+    /// Receive-side owner of a cut lane only: rejected optimistic spans
+    /// being re-expanded into their per-byte arrival stream, in wire order.
+    foreign_runs: VecDeque<ForeignRun>,
+    /// Receive-side owner of a cut lane only: a `SpanNack` is in force and
+    /// the matching `SpanCredit` has not been sent yet.
+    nack_sent: bool,
 }
 
-/// Deprecated name for [`Lane`], kept one release for the single-lane era.
-#[deprecated(note = "renamed to `Lane`; a link now owns one or more lanes")]
-pub type Channel = Lane;
+/// A rejected cross-shard span being expanded back into per-byte arrivals
+/// at the receive-side owner: bytes at wire slots `next .. end` are still
+/// owed (one `Event::RxForeign` each).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ForeignRun {
+    pub(crate) worm: WormId,
+    /// Arrival slot of the next owed byte.
+    pub(crate) next: SimTime,
+    /// One past the last arrival slot (clamped when a STOP revokes the
+    /// span's unsent tail at the transmitter).
+    pub(crate) end: SimTime,
+}
 
 impl Lane {
     pub(crate) fn new(
@@ -212,6 +235,10 @@ impl Lane {
             // of outstanding spans at once).
             spans: VecDeque::with_capacity(8),
             kick_gen: 0,
+            span_optimism: true,
+            foreign_stop_cutoff: 0,
+            foreign_runs: VecDeque::new(),
+            nack_sent: false,
         }
     }
 
@@ -308,26 +335,6 @@ impl Lane {
         }
     }
 
-    // -- deprecated field-path shims (one release) ---------------------------
-
-    /// Deprecated shim for the old `bytes_carried` field path.
-    #[deprecated(note = "use `stats().bytes_carried`")]
-    pub fn bytes_carried(&self) -> u64 {
-        self.bytes_carried
-    }
-
-    /// Deprecated shim for the old `idles_carried` field path.
-    #[deprecated(note = "use `stats().idles_carried`")]
-    pub fn idles_carried(&self) -> u64 {
-        self.idles_carried
-    }
-
-    /// Deprecated shim for the old `stalls` field path.
-    #[deprecated(note = "use `stats().stalls`")]
-    pub fn stalls(&self) -> u64 {
-        self.stalls
-    }
-
     // -- flow control --------------------------------------------------------
 
     /// A STOP from downstream takes effect: block transmission and open a
@@ -407,6 +414,98 @@ impl Lane {
         self.kick_gen = self.kick_gen.wrapping_add(1);
         self.tx_active = false;
         Some((worm, revoked))
+    }
+
+    // -- cross-shard span protocol (DESIGN.md §3.4) --------------------------
+
+    /// Transmit-side owner of a cut lane: may optimistic spans go out?
+    #[inline]
+    pub(crate) fn span_optimism(&self) -> bool {
+        self.span_optimism
+    }
+
+    #[inline]
+    pub(crate) fn set_span_optimism(&mut self, on: bool) {
+        self.span_optimism = on;
+    }
+
+    /// Receive-side owner of a cut lane: an optimistic span arrived from
+    /// the foreign transmitter. Queued in wire order (the mailbox is FIFO)
+    /// and counted in this copy's `in_flight` until delivery.
+    pub(crate) fn enqueue_foreign_span(&mut self, span: SpanInFlight) {
+        self.in_flight += span.len as u32;
+        self.spans.push_back(span);
+    }
+
+    /// Receive-side owner of a cut lane emitted a STOP at `now`: it lands
+    /// at the foreign transmitter at `now + delay`, which truncates any
+    /// span still sending there. Record that cutoff (monotone — spans
+    /// emitted after the matching GO start later than any cutoff) and clamp
+    /// the active expansion runs: the transmitter physically sent only the
+    /// bytes before the cutoff, so arrivals end at `cutoff + delay`.
+    pub(crate) fn note_foreign_stop(&mut self, now: SimTime) {
+        let cutoff = now + self.delay;
+        debug_assert!(cutoff >= self.foreign_stop_cutoff, "clock runs forward");
+        self.foreign_stop_cutoff = cutoff;
+        let arrivals_end = cutoff + self.delay;
+        for run in &mut self.foreign_runs {
+            run.end = run.end.min(arrivals_end);
+        }
+    }
+
+    /// Truncate the just-arriving foreign span (queue front) against the
+    /// recorded STOP cutoff, mirroring exactly the truncation the foreign
+    /// transmitter performed on its copy: bytes at send slots `>= cutoff`
+    /// never went on the wire. Returns the revoked byte count.
+    pub(crate) fn truncate_arriving_foreign_span(&mut self) -> u64 {
+        let cutoff = self.foreign_stop_cutoff;
+        let Some(span) = self.spans.front_mut() else {
+            return 0;
+        };
+        if cutoff <= span.start || span.start + span.len <= cutoff {
+            return 0;
+        }
+        // `cutoff > start` (a span can never start at its own STOP-arrival
+        // slot: the STOP precedes the same-tick kick), so the transmitter's
+        // `sent = (cutoff - start).max(1)` is exactly `cutoff - start`.
+        let sent = cutoff - span.start;
+        let revoked = span.len - sent;
+        span.len = sent;
+        self.in_flight -= revoked as u32;
+        revoked
+    }
+
+    pub(crate) fn push_foreign_run(&mut self, run: ForeignRun) {
+        self.foreign_runs.push_back(run);
+    }
+
+    pub(crate) fn foreign_run_front(&self) -> Option<ForeignRun> {
+        self.foreign_runs.front().copied()
+    }
+
+    pub(crate) fn foreign_run_front_mut(&mut self) -> Option<&mut ForeignRun> {
+        self.foreign_runs.front_mut()
+    }
+
+    pub(crate) fn pop_foreign_run(&mut self) {
+        self.foreign_runs.pop_front();
+    }
+
+    /// Receive-side owner of a cut lane: bytes are still on the wire or
+    /// mid-expansion — the upstream starvation a deadlock probe sees is
+    /// transit latency, not a genuine wait.
+    pub(crate) fn has_foreign_in_transit(&self) -> bool {
+        !self.spans.is_empty() || !self.foreign_runs.is_empty()
+    }
+
+    #[inline]
+    pub(crate) fn nack_pending(&self) -> bool {
+        self.nack_sent
+    }
+
+    #[inline]
+    pub(crate) fn set_nack_pending(&mut self, on: bool) {
+        self.nack_sent = on;
     }
 }
 
@@ -489,7 +588,9 @@ impl<'a> TxPort<'a> {
                 l.next_tx_time = now + 1;
             }
             TxPayload::Span { worm, len } => {
-                debug_assert!(count_in_flight, "spans never cross shard boundaries");
+                // Spans cross shard boundaries with `count_in_flight` true:
+                // the transmit-side copy tracks wire occupancy until the
+                // end-of-transmission retirement event (network.rs).
                 l.in_flight += len as u32;
                 l.bytes_carried += len;
                 l.next_tx_time = now + len;

@@ -9,9 +9,14 @@
 //!
 //! - a byte put on a cross-shard channel crosses as [`BoundaryMsg::Rx`]
 //!   (the first byte of each worm carries a [`WormSnap`] so the receiving
-//!   shard can materialise the worm locally), and
-//! - a STOP/GO symbol emitted by a receive side whose transmit side is
-//!   foreign crosses as [`BoundaryMsg::Ctrl`].
+//!   shard can materialise the worm locally),
+//! - a batched run of data bytes crosses as [`BoundaryMsg::RxSpan`] — an
+//!   *optimistic* span sized from sender-local state only; the receiving
+//!   shard truncates it against its own STOP watermarks on arrival and
+//!   either admits it whole or expands it back into the per-byte arrival
+//!   stream it stood for (DESIGN.md §3.4), and
+//! - a STOP/GO (or span credit/NACK) symbol emitted by a receive side
+//!   whose transmit side is foreign crosses as [`BoundaryMsg::Ctrl`].
 //!
 //! Synchronization is conservative (Chandy–Misra–Bryant style) with
 //! lookahead equal to the minimum inter-shard link latency. Each shard
@@ -32,6 +37,7 @@
 //! logs and deliveries. `tests/shard_equivalence.rs` enforces this
 //! against the sequential engine on four topologies in both `SimMode`s.
 
+use crate::config::ConfigError;
 use crate::deadlock;
 use crate::engine::{CtrlSym, HostId, SwitchId};
 use crate::link::{ChanId, NodeRef};
@@ -111,6 +117,18 @@ pub(crate) enum BoundaryMsg {
         kind: ByteKind,
         snap: Option<Box<WormSnap>>,
     },
+    /// An optimistic span of `len` data bytes arriving at the receive side
+    /// of cut channel `ch`, first byte at `ts`. The sender sized it from
+    /// local state only; the receive-side owner truncates it against its
+    /// own STOP watermarks on arrival and either admits it whole or
+    /// expands it back into per-byte arrivals (DESIGN.md §3.4).
+    RxSpan {
+        ts: SimTime,
+        ch: ChanId,
+        tag: u64,
+        len: u64,
+        snap: Option<Box<WormSnap>>,
+    },
     /// A control symbol arriving at the transmit side of cross-shard
     /// channel `ch` (it travelled the reverse channel).
     Ctrl {
@@ -123,7 +141,9 @@ pub(crate) enum BoundaryMsg {
 impl BoundaryMsg {
     pub(crate) fn ts(&self) -> SimTime {
         match self {
-            BoundaryMsg::Rx { ts, .. } | BoundaryMsg::Ctrl { ts, .. } => *ts,
+            BoundaryMsg::Rx { ts, .. }
+            | BoundaryMsg::RxSpan { ts, .. }
+            | BoundaryMsg::Ctrl { ts, .. } => *ts,
         }
     }
 }
@@ -186,40 +206,63 @@ impl ShardedNetwork {
     /// trace sink in use (those need the global event order), a
     /// cross-shard link with zero latency (no lookahead), or more than
     /// 64 shards.
-    pub fn new(nets: Vec<Network>, switch_owner: Vec<u32>) -> Result<ShardedNetwork, String> {
+    pub fn new(nets: Vec<Network>, switch_owner: Vec<u32>) -> Result<ShardedNetwork, ConfigError> {
         let num = nets.len();
         if num == 0 {
-            return Err("sharded network needs at least one shard".into());
+            return Err(ConfigError::Invalid {
+                field: "shards",
+                reason: "sharded network needs at least one shard".into(),
+            });
         }
         if num > 64 {
-            return Err(format!("shard count {num} exceeds the supported 64"));
+            return Err(ConfigError::OutOfRange {
+                field: "shards",
+                value: num as f64,
+                min: 1.0,
+                max: 64.0,
+            });
         }
         let n0 = &nets[0];
         if switch_owner.len() != n0.switches.len() {
-            return Err(format!(
-                "switch_owner has {} entries for {} switches",
-                switch_owner.len(),
-                n0.switches.len()
-            ));
+            return Err(ConfigError::Invalid {
+                field: "switch_owner",
+                reason: format!(
+                    "has {} entries for {} switches",
+                    switch_owner.len(),
+                    n0.switches.len()
+                ),
+            });
         }
         if let Some(bad) = switch_owner.iter().find(|&&o| o as usize >= num) {
-            return Err(format!("switch owner {bad} out of range for {num} shards"));
+            return Err(ConfigError::Invalid {
+                field: "switch_owner",
+                reason: format!("owner {bad} out of range for {num} shards"),
+            });
         }
         if n0.cfg.switchcast != SwitchcastMode::Off {
-            return Err("sharded execution requires SwitchcastMode::Off".into());
+            return Err(ConfigError::Unshardable {
+                feature: "switch-level multicast",
+            });
         }
         if n0.cfg.corrupt_prob != 0.0 {
-            return Err("sharded execution requires corrupt_prob == 0".into());
+            return Err(ConfigError::Unshardable {
+                feature: "fault injection",
+            });
         }
         if n0.trace.enabled() {
-            return Err("sharded execution requires the trace sink to be off".into());
+            return Err(ConfigError::Unshardable {
+                feature: "the trace sink",
+            });
         }
         for (i, n) in nets.iter().enumerate() {
             if n.switches.len() != n0.switches.len()
                 || n.adapters.len() != n0.adapters.len()
                 || n.lanes.len() != n0.lanes.len()
             {
-                return Err(format!("shard {i} was built from a different fabric"));
+                return Err(ConfigError::Invalid {
+                    field: "nets",
+                    reason: format!("shard {i} was built from a different fabric"),
+                });
             }
         }
 
@@ -252,10 +295,11 @@ impl ShardedNetwork {
             chan_dst_owner.push(b);
             if a != b {
                 if c.delay() == 0 {
-                    return Err(format!(
-                        "channel {:?} crosses shards {a}→{b} with zero latency (no lookahead)",
-                        c.id()
-                    ));
+                    return Err(ConfigError::ZeroLookahead {
+                        ch: c.id().0,
+                        from: a,
+                        to: b,
+                    });
                 }
                 let (a, b) = (a as usize, b as usize);
                 lookahead[a][b] = lookahead[a][b].min(c.delay());
@@ -460,6 +504,13 @@ impl ShardedNetwork {
                             "shard {i}: lane {:?} has {} bytes in flight with no active worms",
                             c.id(),
                             c.in_flight()
+                        ));
+                    }
+                    if c.has_foreign_in_transit() {
+                        return Err(format!(
+                            "shard {i}: lane {:?} still holds a foreign span or \
+                             expansion run with no active worms",
+                            c.id()
                         ));
                     }
                 }

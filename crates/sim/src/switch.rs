@@ -667,18 +667,17 @@ impl Network {
         // byte-time can land, so `occupancy + wire_bytes` bounds occupancy
         // throughout the window in both modes; below the stop mark, neither
         // mode can emit a STOP while the run drains.
-        // Bytes fed across a shard boundary: the local `in_flight` copy of
-        // the incoming channel reads 0 no matter what is on the wire, which
-        // would wrongly enable batching — stay on the per-byte path.
-        if let Some(c) = inp.chan_in {
-            if self.chan_src_foreign(c) {
-                return None;
-            }
-        }
-        let wire = inp
-            .chan_in
-            .map(|c| self.lanes[c.0 as usize].in_flight() as u64)
-            .unwrap_or(0);
+        let wire = match inp.chan_in {
+            // Fed across a shard boundary: the local `in_flight` copy
+            // undercounts (per-byte crossings and expansion runs are not
+            // in it). But every pending arrival byte — span, expansion or
+            // per-byte — occupies a distinct send slot in `(now-delay,
+            // now]` at the paced foreign transmitter, so `delay` bounds
+            // them all; substitute that worst case.
+            Some(c) if self.chan_src_foreign(c) => self.lanes[c.0 as usize].delay(),
+            Some(c) => self.lanes[c.0 as usize].in_flight() as u64,
+            None => 0,
+        };
         if inp.occupancy() as u64 + wire >= inp.slack.stop_mark as u64 {
             return None;
         }
@@ -756,21 +755,33 @@ impl Network {
     }
 
     /// Common post-dequeue bookkeeping for a switch input: send GO when the
-    /// buffer has drained below the low watermark.
+    /// buffer has drained below the low watermark. On an input fed across a
+    /// shard boundary, draining below the watermark also clears a pending
+    /// span NACK — restoring the foreign transmitter's optimism via the GO
+    /// itself, or via an explicit [`CtrlSym::SpanCredit`] when no STOP was
+    /// ever in force (DESIGN.md §3.4).
     pub(crate) fn after_slack_dequeue(&mut self, sw: SwitchId, port: u8) {
-        let (send_go, chan_in) = {
+        let (send_go, occ_lo, chan_in) = {
             let inp = &mut self.switches[sw.0 as usize].inputs[port as usize];
-            if inp.sent_stop && inp.occupancy() <= inp.slack.go_mark {
+            let occ_lo = inp.occupancy() <= inp.slack.go_mark;
+            if inp.sent_stop && occ_lo {
                 inp.sent_stop = false;
-                (true, inp.chan_in)
+                (true, occ_lo, inp.chan_in)
             } else {
-                (false, inp.chan_in)
+                (false, occ_lo, inp.chan_in)
             }
         };
+        let Some(ch) = chan_in else {
+            return;
+        };
         if send_go {
-            if let Some(ch) = chan_in {
-                self.send_ctrl(ch, CtrlSym::Go);
+            if self.lanes[ch.0 as usize].nack_pending() {
+                self.lanes[ch.0 as usize].set_nack_pending(false);
             }
+            self.send_ctrl(ch, CtrlSym::Go);
+        } else if occ_lo && self.lanes[ch.0 as usize].nack_pending() {
+            self.lanes[ch.0 as usize].set_nack_pending(false);
+            self.send_ctrl(ch, CtrlSym::SpanCredit);
         }
     }
 }
