@@ -21,4 +21,5 @@ pub mod trace_io;
 
 pub use runner::{run, run_parallel, run_traced, RunReport, SimSetup, SimSetupBuilder};
 pub use schemes::Scheme;
+pub use trace_io::{expand_spans, validate_jsonl, write_jsonl};
 pub use wormcast_sim::network::RunOutcome;

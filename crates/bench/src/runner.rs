@@ -43,9 +43,9 @@ pub struct SimSetup {
     /// Fault injection, folded into the network configuration.
     pub faults: FaultConfig,
     /// Shards the single simulation runs on (1 = sequential engine). A
-    /// sharded run produces byte-identical statistics; configurations the
-    /// parallel engine cannot honor (trace sinks, fault injection) fall
-    /// back to the sequential engine.
+    /// sharded run produces byte-identical statistics and traces;
+    /// configurations the parallel engine cannot honor (fault injection,
+    /// switch-level multicast) fall back to the sequential engine.
     pub shards: u32,
     /// Explicit switch→shard plan; `None` derives a balanced contiguous
     /// plan from the up/down root ([`ShardPlan::bfs_contiguous`]).
@@ -273,6 +273,10 @@ pub struct RunReport {
     /// Fraction of expected multicast deliveries that completed by the end
     /// of the drain window (1.0 below saturation).
     pub delivery_ratio: f64,
+    /// Trace events discarded by ring-sink overflow (0 for the other
+    /// sinks; summed across shards). A nonzero count means the returned
+    /// trace is a truncated suffix of the run, not the whole timeline.
+    pub trace_dropped: u64,
 }
 
 impl RunReport {
@@ -319,8 +323,8 @@ fn build_network_owned(
 
 /// Build the sharded engine for a setup: one full [`Network`] per shard
 /// (sources filtered to owned hosts), wired through the setup's
-/// [`ShardPlan`]. Errors when the configuration is not shardable (trace
-/// sink on, fault injection, zero-delay cut, > 64 shards).
+/// [`ShardPlan`]. Errors when the configuration is not shardable (fault
+/// injection, switch-level multicast, zero-delay cut, > 64 shards).
 pub fn build_sharded(setup: &SimSetup) -> Result<ShardedNetwork, String> {
     let plan = resolve_plan(setup)?;
     plan.validate(&setup.topo)?;
@@ -347,9 +351,12 @@ pub fn run(setup: &SimSetup) -> RunReport {
 /// unless the setup selected a sink). The bench JSONL writer and the
 /// trace-equivalence tests use this.
 pub fn run_traced(setup: &SimSetup) -> (RunReport, Trace) {
-    if setup.shards > 1 && matches!(setup.trace, TraceConfig::Off) {
-        // Sharded path. A build error means the configuration is not
-        // shardable (e.g. fault injection) — fall through to sequential.
+    if setup.shards > 1 {
+        // Sharded path (tracing shards cleanly: each lifecycle event is
+        // recorded by exactly one owning shard and the logs merge into
+        // the canonical stream). A build error means the configuration
+        // is not shardable (e.g. fault injection) — fall through to
+        // sequential.
         if let Ok(mut sharded) = build_sharded(setup) {
             let outcome = sharded.run_until(setup.drain_until);
             debug_assert!(
@@ -359,7 +366,9 @@ pub fn run_traced(setup: &SimSetup) -> (RunReport, Trace) {
             sharded.audit().expect("conservation invariant");
             let msgs = sharded.msgs();
             let util = sharded.mean_host_tx_utilization(setup.drain_until);
-            return (make_report(setup, outcome, &msgs, util), Trace::default());
+            let trace = sharded.trace();
+            let report = make_report(setup, outcome, &msgs, util, trace.dropped());
+            return (report, trace);
         }
     }
     let mut net = build_network(setup);
@@ -370,7 +379,13 @@ pub fn run_traced(setup: &SimSetup) -> (RunReport, Trace) {
     );
     net.audit().expect("conservation invariant");
     let host_tx_utilization = net.mean_host_tx_utilization(setup.drain_until);
-    let report = make_report(setup, outcome, &net.msgs, host_tx_utilization);
+    let report = make_report(
+        setup,
+        outcome,
+        &net.msgs,
+        host_tx_utilization,
+        net.trace.dropped(),
+    );
     (report, net.trace)
 }
 
@@ -381,6 +396,7 @@ fn make_report(
     outcome: RunOutcome,
     msgs: &wormcast_sim::network::MessageLog,
     host_tx_utilization: f64,
+    trace_dropped: u64,
 ) -> RunReport {
     let membership = membership_of(&setup.groups);
     let multicast = latencies(msgs, Kind::Multicast, setup.warmup, setup.generate_until, None);
@@ -407,6 +423,7 @@ fn make_report(
         unicast,
         host_tx_utilization,
         delivery_ratio,
+        trace_dropped,
     }
 }
 

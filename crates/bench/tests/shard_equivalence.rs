@@ -4,11 +4,16 @@
 //! sequential run's statistics and message log **byte for byte** — only
 //! the engine-cost counters (`events_scheduled` / `events_fired`) may
 //! differ, exactly as between the two [`SimMode`]s (DESIGN.md §3.4).
+//! Traced runs shard too: the merged span-batched trace, expanded back to
+//! per-byte by `trace_io::expand_spans`, must match the sequential
+//! per-byte trace byte for byte (DESIGN.md §3.2).
 
 use wormcast_bench::runner::{build_network, build_sharded, SimSetup};
+use wormcast_bench::trace_io::{expand_spans, validate_jsonl};
 use wormcast_bench::Scheme;
 use wormcast_core::{HcConfig, TreeConfig};
 use wormcast_sim::network::{MessageLog, NetStats, SimMode};
+use wormcast_sim::trace::TraceConfig;
 use wormcast_topo::irregular::{irregular, IrregularSpec};
 use wormcast_topo::shufflenet::shufflenet24;
 use wormcast_topo::torus::torus;
@@ -236,6 +241,191 @@ fn adversarial_checkerboard_all_links_cut_still_matches() {
         sh.shard_plan = Some(plan.clone());
         assert_equivalent(&format!("checkerboard mode={mode:?}"), &seq, &sh);
     }
+}
+
+/// Rendered JSONL of a traced sequential run.
+fn traced_sequential(setup: &SimSetup) -> String {
+    let mut net = build_network(setup);
+    let out = net.run_until(DRAIN_UNTIL);
+    assert!(out.deadlock.is_none(), "sequential deadlock: {out:?}");
+    net.audit().expect("sequential conservation");
+    net.trace.to_jsonl()
+}
+
+/// Rendered JSONL of a traced sharded run (merged across shards).
+fn traced_sharded(setup: &SimSetup) -> String {
+    let mut sharded = build_sharded(setup).expect("shardable setup");
+    let out = sharded.run_until(DRAIN_UNTIL);
+    assert!(out.deadlock.is_none(), "sharded deadlock: {out:?}");
+    sharded.audit().expect("sharded conservation");
+    sharded.trace().to_jsonl()
+}
+
+/// The first differing line of two JSONL streams, for a readable failure.
+fn first_diff(a: &str, b: &str) -> String {
+    let (la, lb): (Vec<&str>, Vec<&str>) = (a.lines().collect(), b.lines().collect());
+    for i in 0..la.len().min(lb.len()) {
+        if la[i] != lb[i] {
+            let lo = i.saturating_sub(3);
+            let mut out = format!("line {}:\n", i + 1);
+            for j in lo..(i + 4).min(la.len().min(lb.len())) {
+                let mark = if la[j] == lb[j] { ' ' } else { '!' };
+                out.push_str(&format!(
+                    "{mark} expected: {}\n{mark} got:      {}\n",
+                    la[j], lb[j]
+                ));
+            }
+            return out;
+        }
+    }
+    format!("line counts differ: {} vs {}", la.len(), lb.len())
+}
+
+/// Span-native tracing across shards: the merged span-batched sharded
+/// trace, run through the per-byte expander, must be byte-identical to
+/// the sequential per-byte trace — and a sharded *per-byte* trace must
+/// match it without any expansion at all.
+fn assert_traced_equivalent(
+    name: &str,
+    mk: &dyn Fn(SimMode) -> SimSetup,
+    shards: u32,
+    plan: Option<ShardPlan>,
+) {
+    let mut seq = mk(SimMode::PerByte);
+    seq.trace = TraceConfig::Memory;
+    let j_ref = traced_sequential(&seq);
+    assert!(!j_ref.is_empty(), "{name}: reference trace captured nothing");
+
+    // Sequential span-batched first: families here (tree, shufflenet,
+    // irregular…) are not all covered by the span_equivalence suite, and
+    // a sequential divergence would otherwise masquerade as a sharding
+    // bug below.
+    let mut sp_seq = mk(SimMode::SpanBatched);
+    sp_seq.trace = TraceConfig::Memory;
+    let j_sp_seq = traced_sequential(&sp_seq);
+    let exp_seq = expand_spans(&j_sp_seq);
+    assert!(
+        exp_seq == j_ref,
+        "{name}: SEQ span trace diverged from sequential per-byte\n{}",
+        first_diff(&j_ref, &exp_seq)
+    );
+
+    let mut sp = mk(SimMode::SpanBatched);
+    sp.trace = TraceConfig::Memory;
+    sp.shards = shards;
+    sp.shard_plan = plan.clone();
+    let j_span = traced_sharded(&sp);
+    let violations = validate_jsonl(&j_span);
+    assert!(
+        violations.is_empty(),
+        "{name}: sharded span trace violates the schema: {violations:?}"
+    );
+    let expanded = expand_spans(&j_span);
+    assert!(
+        expanded == j_ref,
+        "{name}: expanded sharded span trace diverged from sequential per-byte\n{}",
+        first_diff(&j_ref, &expanded)
+    );
+
+    let mut pb = mk(SimMode::PerByte);
+    pb.trace = TraceConfig::Memory;
+    pb.shards = shards;
+    pb.shard_plan = plan;
+    let j_pb = traced_sharded(&pb);
+    assert!(
+        j_pb == j_ref,
+        "{name}: sharded per-byte trace diverged from sequential per-byte\n{}",
+        first_diff(&j_ref, &j_pb)
+    );
+}
+
+#[test]
+fn traced_sharded_torus_expands_to_sequential() {
+    let mk = |mode| setup_on(torus(4, 1), Scheme::Hc(HcConfig::store_and_forward()), mode);
+    for shards in [2u32, 4] {
+        assert_traced_equivalent(
+            &format!("traced torus shards={shards}"),
+            &mk,
+            shards,
+            Some(ShardPlan::torus_grid(4, shards).expect("plan")),
+        );
+    }
+}
+
+#[test]
+fn traced_sharded_shufflenet_expands_to_sequential() {
+    let mk = |mode| {
+        setup_on(
+            shufflenet24(1),
+            Scheme::Tree(TreeConfig::store_and_forward(), TreeShape::BinaryHeap),
+            mode,
+        )
+    };
+    assert_traced_equivalent("traced shufflenet shards=2", &mk, 2, None);
+}
+
+#[test]
+fn traced_sharded_tree_expands_to_sequential() {
+    let mk = |mode| {
+        setup_on(
+            tree_fabric(5),
+            Scheme::Tree(TreeConfig::store_and_forward(), TreeShape::GreedyHop),
+            mode,
+        )
+    };
+    assert_traced_equivalent("traced tree shards=4", &mk, 4, None);
+}
+
+#[test]
+fn traced_sharded_irregular_expands_to_sequential() {
+    let mk = |mode| setup_on(irregular_fabric(9), Scheme::Hc(HcConfig::cut_through()), mode);
+    assert_traced_equivalent("traced irregular shards=2", &mk, 2, None);
+}
+
+#[test]
+fn traced_sharded_torus_lanes2_expands_to_sequential() {
+    // Two lanes per link: span-level lines carry the lane field and every
+    // cut channel runs the optimistic-span protocol per lane.
+    let mk = |mode| {
+        let mut s = setup_on(torus(4, 1), Scheme::Hc(HcConfig::store_and_forward()), mode);
+        s.lanes = 2;
+        s
+    };
+    for shards in [2u32, 4] {
+        assert_traced_equivalent(
+            &format!("traced torus lanes=2 shards={shards}"),
+            &mk,
+            shards,
+            Some(ShardPlan::torus_grid(4, shards).expect("plan")),
+        );
+    }
+}
+
+/// `RunReport::trace_dropped` surfaces ring overflow: a tiny ring on a
+/// busy run must report drops, and the default sinks must report zero.
+#[test]
+fn runner_reports_ring_overflow() {
+    let mut s = setup_on(
+        torus(4, 1),
+        Scheme::Hc(HcConfig::store_and_forward()),
+        SimMode::SpanBatched,
+    );
+    s.trace = TraceConfig::Ring { capacity: 64 };
+    let (report, trace) = wormcast_bench::runner::run_traced(&s);
+    assert!(
+        report.trace_dropped > 0,
+        "a 64-event ring must overflow on this run"
+    );
+    assert_eq!(trace.len(), 64, "ring keeps exactly its capacity");
+
+    let mut s2 = setup_on(
+        torus(4, 1),
+        Scheme::Hc(HcConfig::store_and_forward()),
+        SimMode::SpanBatched,
+    );
+    s2.trace = TraceConfig::Memory;
+    let (report2, _) = wormcast_bench::runner::run_traced(&s2);
+    assert_eq!(report2.trace_dropped, 0, "memory sink never drops");
 }
 
 /// The public entry point composes the same way: `run()` on a sharded

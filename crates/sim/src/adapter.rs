@@ -309,6 +309,7 @@ impl Network {
                 if corrupt {
                     self.stats.worms_corrupt += 1;
                     if self.trace.enabled() {
+                        let worm = self.worm_name(worm);
                         self.trace.push(
                             self.scheduler.now(),
                             crate::trace::TraceEvent::WormCorrupt { worm, host },
@@ -326,6 +327,7 @@ impl Network {
                 if let RxState::Receiving { worm, body_got } = a.rx {
                     a.parked.insert(worm, body_got);
                     if self.trace.enabled() {
+                        let worm = self.worm_name(worm);
                         self.trace.push(
                             self.scheduler.now(),
                             crate::trace::TraceEvent::FragmentParked {
@@ -346,6 +348,7 @@ impl Network {
                     a.parked.remove(worm).expect("parked")
                 };
                 if self.trace.enabled() {
+                    let worm = self.worm_name(worm);
                     self.trace.push(
                         self.scheduler.now(),
                         crate::trace::TraceEvent::FragmentResumed {
@@ -369,6 +372,7 @@ impl Network {
                             a.rx = RxState::Idle;
                             a.counters.bytes_received += 1;
                             if self.trace.enabled() {
+                                let worm = self.worm_name(worm);
                                 self.trace.push(
                                     self.scheduler.now(),
                                     crate::trace::TraceEvent::FragmentParked {

@@ -35,8 +35,8 @@ pub enum ConfigError {
     /// of `field` was zero).
     ZeroDelay { field: &'static str, index: usize },
     /// The sharded engine cannot reproduce the sequential schedule with
-    /// this feature enabled (switch-level multicast, fault injection or a
-    /// trace sink — all need the global event order).
+    /// this feature enabled (switch-level multicast or fault injection —
+    /// both need the global event order).
     Unshardable { feature: &'static str },
     /// A channel crosses two shards with zero propagation delay, leaving
     /// the conservative synchronization without lookahead.

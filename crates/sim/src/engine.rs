@@ -26,7 +26,9 @@ pub struct SwitchId(pub u32);
 /// falls back to per-byte emission) and restores the sender's optimism
 /// with `SpanCredit` once the slack buffer drains. They carry no worm
 /// semantics — both sides' byte streams are identical either way — so
-/// they never appear on intra-shard channels or in traces.
+/// they never appear on intra-shard channels; traced span-batched runs
+/// record them as `span-nack`/`span-credit` engine events, which the
+/// per-byte expander (`wormcast_bench::trace_io::expand_spans`) erases.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum CtrlSym {
     Stop,

@@ -295,6 +295,18 @@ impl Lane {
         self.in_flight
     }
 
+    /// Transmit side: bytes of an in-flight span whose per-byte send
+    /// slots are still in the future. A span emission batch-pops its
+    /// whole run from the producer's buffer at emission time, while the
+    /// per-byte twin dequeues one byte per send slot — until the span's
+    /// last slot passes, the producer's per-byte-equivalent occupancy
+    /// exceeds its local one by up to this amount. (A STOP truncation
+    /// rewinds `next_tx_time`, relinquishing the revoked slots.)
+    #[inline]
+    pub(crate) fn drain_advance(&self, now: SimTime) -> u64 {
+        self.next_tx_time.saturating_sub(now + 1)
+    }
+
     /// Counter snapshot for statistics consumers.
     pub fn stats(&self) -> LinkStats {
         LinkStats {
@@ -475,6 +487,12 @@ impl Lane {
         revoked
     }
 
+    /// Worm carried by the oldest in-flight span, if any (trace
+    /// attribution for receive-side truncation).
+    pub(crate) fn front_span_worm(&self) -> Option<crate::worm::WormId> {
+        self.spans.front().map(|s| s.worm)
+    }
+
     pub(crate) fn push_foreign_run(&mut self, run: ForeignRun) {
         self.foreign_runs.push_back(run);
     }
@@ -496,6 +514,22 @@ impl Lane {
     /// transit latency, not a genuine wait.
     pub(crate) fn has_foreign_in_transit(&self) -> bool {
         !self.spans.is_empty() || !self.foreign_runs.is_empty()
+    }
+
+    /// Receive-side owner of a cut lane: bytes the foreign transmitter
+    /// still owes this copy beyond the per-byte pacing bound — queued
+    /// optimistic spans (the only contribution to this copy's
+    /// `in_flight`) plus the un-expanded remainder of rejected runs. An
+    /// optimistic span occupies send slots reaching into the
+    /// transmitter's future, so unlike paced per-byte traffic these are
+    /// not bounded by the wire delay.
+    pub(crate) fn foreign_span_backlog(&self) -> u64 {
+        self.in_flight as u64
+            + self
+                .foreign_runs
+                .iter()
+                .map(|r| r.end.saturating_sub(r.next))
+                .sum::<u64>()
     }
 
     #[inline]

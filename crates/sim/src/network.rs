@@ -268,6 +268,15 @@ pub struct Network {
     /// injection history — a sharded run (which never sees other shards'
     /// injections) allocates exactly the ids the sequential engine does.
     next_msg_seq: Vec<u64>,
+    /// Canonical per-worm names, `(injecting host << 40) | seq` like
+    /// [`MessageId`]s (`u64::MAX` = unnamed). Dense [`WormId`]s are
+    /// per-engine — each shard of a sharded run allocates its own — so the
+    /// trace and the cross-shard boundary protocol name worms by this tag
+    /// instead; assignment depends only on the injecting host's own
+    /// history, making the names identical however the run is partitioned.
+    worm_names: slab::PerWorm<u64>,
+    /// Per-host worm sequence counters backing `worm_names`.
+    next_worm_seq: Vec<u64>,
     cmd_scratch: Vec<Command>,
     /// STOP/GO arrivals whose worm attribution is deferred to the end of
     /// the current scheduler tick (`bool` is "STOP"). Crossbar/adapter
@@ -529,6 +538,8 @@ impl Network {
             rngs,
             fault_rng,
             next_msg_seq: vec![0; num_hosts],
+            worm_names: slab::PerWorm::new(u64::MAX),
+            next_worm_seq: vec![0; num_hosts],
             cmd_scratch: Vec::new(),
             pending_ctrl_trace: Vec::new(),
             watchdog_last_bytes: 0,
@@ -856,15 +867,15 @@ impl Network {
         ch: ChanId,
         worm: WormId,
     ) -> (usize, u64, Option<Box<crate::shard::WormSnap>>) {
-        let (to, tag, need_snap) = {
+        let tag = self.worm_names.get(worm);
+        debug_assert_ne!(tag, u64::MAX, "worm crossed a boundary without a name");
+        let (to, need_snap) = {
             let s = self.shard.as_mut().expect("boundary send implies shard ctx");
             let to = s.chan_dst_owner[ch.0 as usize] as usize;
-            let tag = s.worm_tags.get(worm);
-            debug_assert_ne!(tag, u64::MAX, "worm crossed a boundary without a tag");
             let mask = s.snap_sent.get_mut(worm);
             let need = *mask & (1 << to) == 0;
             *mask |= 1 << to;
-            (to, tag, need)
+            (to, need)
         };
         let snap =
             need_snap.then(|| Box::new(crate::shard::WormSnap::of(&self.worms[worm.0 as usize])));
@@ -978,17 +989,38 @@ impl Network {
         let snap = snap.expect("first boundary byte of a worm carries its snapshot");
         let id = WormId(self.worms.len() as u32);
         s.tag_to_worm.insert(tag, id);
-        *s.worm_tags.get_mut(id) = tag;
+        *self.worm_names.get_mut(id) = tag;
         self.worms.push(snap.instantiate(id));
         id
     }
 
-    /// The canonical tag of a local worm (shard runs only). Used by the
-    /// merged deadlock analysis to name one worm consistently across the
-    /// shards that each hold a mirror of it under different dense ids.
+    /// The canonical name of a local worm, or `None` if it was never
+    /// injected or materialized here. Used by the merged deadlock analysis
+    /// to name one worm consistently across the shards that each hold a
+    /// mirror of it under different dense ids.
     pub(crate) fn worm_tag(&self, worm: WormId) -> Option<u64> {
-        let tag = self.shard.as_ref()?.worm_tags.get(worm);
+        let tag = self.worm_names.get(worm);
         (tag != u64::MAX).then_some(tag)
+    }
+
+    /// The canonical name of a local worm, for trace emission: every worm
+    /// is named at injection ([`Network::inject_worm`]) or first boundary
+    /// contact (`worm_for_tag`), so an unnamed worm here is a logic error.
+    #[inline]
+    pub(crate) fn worm_name(&self, worm: WormId) -> u64 {
+        let tag = self.worm_names.get(worm);
+        debug_assert_ne!(tag, u64::MAX, "traced worm {worm:?} was never named");
+        tag
+    }
+
+    /// Resolve a canonical worm name (the `worm` field of
+    /// [`TraceEvent`](crate::trace::TraceEvent)s) back to the local worm
+    /// instance. Linear scan — meant for diagnostics and trace
+    /// post-processing, not the simulation hot path.
+    pub fn worm_by_name(&self, name: u64) -> Option<&WormInstance> {
+        (0..self.worms.len() as u32)
+            .find(|&i| self.worm_names.get(WormId(i)) == name)
+            .map(|i| &self.worms[i as usize])
     }
 
     /// Sum of output-link utilization over the host adapters this engine
@@ -1066,15 +1098,6 @@ impl Network {
         // Replication, IDLE fill and flushes (Section 3 machinery) make
         // byte-level interleaving observable; the fast path is off outright.
         if !self.switchcast_allows_spans() {
-            return false;
-        }
-        // A trace sink makes byte-level interleaving observable too: STOP
-        // watermark crossings depend on arrival-vs-dequeue order *within* a
-        // byte-time, which span batching legitimately permutes (worm-visible
-        // behavior is unchanged, but a crossing can appear or vanish). With
-        // tracing on, take the per-byte reference path so the emitted trace
-        // is byte-exact and identical across [`SimMode`]s (DESIGN.md §3.2).
-        if self.trace.enabled() {
             return false;
         }
         // Bytes bound for another shard go out as an *optimistic* span:
@@ -1167,6 +1190,14 @@ impl Network {
         let ticket = TxPort::new(&mut self.lanes[ch.0 as usize])
             .try_send(now, TxPayload::Span { worm, len: k }, true)
             .expect("span probe ran at the lane's ready time");
+        if self.trace.enabled() {
+            // Span-level engine events sit alongside the lifecycle stream;
+            // the per-byte expander erases them (trace.rs module docs).
+            let lane = self.lanes[ch.0 as usize].lane_index();
+            let worm = self.worm_name(worm);
+            self.trace
+                .push(now, TraceEvent::SpanEmitted { worm, ch, lane, len: k });
+        }
         if dst_foreign {
             self.send_boundary_span(ch, ticket.deliver_at, worm, k);
             // The receive-side owner delivers the bytes; this RxSpan fires
@@ -1215,7 +1246,17 @@ impl Network {
             // Mirror, before taking the span off the wire, exactly the
             // truncation any STOP this side emitted has meanwhile forced
             // on the transmitter's copy (`Lane::truncate_arriving_foreign_span`).
-            self.lanes[ch.0 as usize].truncate_arriving_foreign_span();
+            let revoked = self.lanes[ch.0 as usize].truncate_arriving_foreign_span();
+            if revoked > 0 && self.trace.enabled() {
+                let now = self.scheduler.now();
+                let l = &self.lanes[ch.0 as usize];
+                let (worm, lane) = (l.front_span_worm(), l.lane_index());
+                if let Some(worm) = worm {
+                    let worm = self.worm_name(worm);
+                    self.trace
+                        .push(now, TraceEvent::SpanTruncated { worm, ch, lane, revoked });
+                }
+            }
         }
         let (dst, span) = RxPort::new(&mut self.lanes[ch.0 as usize]).deliver_span();
         if span.len == 0 {
@@ -1242,6 +1283,15 @@ impl Network {
             self.flushed_count == 0,
             "spans and flushes cannot coexist (switchcast gates the fast path)"
         );
+        if self.trace.enabled() {
+            let lane = self.lanes[ch.0 as usize].lane_index();
+            self.trace.push(now, TraceEvent::SpanDelivered {
+                worm: self.worm_name(span.worm),
+                ch,
+                lane,
+                len: span.len,
+            });
+        }
         match dst.node {
             NodeRef::Switch(s) => self.switch_rx_span(s, dst.port.0, span.worm, span.len),
             NodeRef::Host(h) => self.adapter_rx_span(h, span.worm, span.len),
@@ -1343,6 +1393,16 @@ impl Network {
         let Some((worm, revoked)) = self.lanes[ch.0 as usize].truncate_newest_span(now) else {
             return;
         };
+        if self.trace.enabled() {
+            let lane = self.lanes[ch.0 as usize].lane_index();
+            let name = self.worm_name(worm);
+            self.trace.push(now, TraceEvent::SpanTruncated {
+                worm: name,
+                ch,
+                lane,
+                revoked,
+            });
+        }
         let src = self.lanes[ch.0 as usize].src();
         match src.node {
             NodeRef::Switch(s) => {
@@ -1429,10 +1489,20 @@ impl Network {
                 // optimistic span into congestion; stop shipping spans
                 // until a credit (or GO) arrives. Pure engine throttle:
                 // the rejected bytes still arrive per-byte-exactly.
-                self.lanes[ch.0 as usize].set_span_optimism(false);
+                let l = &mut self.lanes[ch.0 as usize];
+                l.set_span_optimism(false);
+                let lane = l.lane_index();
+                if self.trace.enabled() {
+                    self.trace.push(now, TraceEvent::SpanNack { ch, lane });
+                }
             }
             CtrlSym::SpanCredit => {
-                self.lanes[ch.0 as usize].set_span_optimism(true);
+                let l = &mut self.lanes[ch.0 as usize];
+                l.set_span_optimism(true);
+                let lane = l.lane_index();
+                if self.trace.enabled() {
+                    self.trace.push(now, TraceEvent::SpanCredit { ch, lane });
+                }
             }
             CtrlSym::BackwardReset => self.switchcast_backward_reset(ch),
         }
@@ -1450,6 +1520,7 @@ impl Network {
         for i in 0..self.pending_ctrl_trace.len() {
             let (t, ch, is_stop) = self.pending_ctrl_trace[i];
             if let Some(worm) = self.channel_carried_worm(ch) {
+                let worm = self.worm_name(worm);
                 let cause = BlockCause::StopBackpressure { ch };
                 let ev = if is_stop {
                     TraceEvent::WormBlocked { worm, cause }
@@ -1560,6 +1631,7 @@ impl Network {
         };
         self.protocols[host.0 as usize] = Some(proto);
         if admission == Admission::Refuse && self.trace.enabled() {
+            let worm = self.worm_name(worm);
             self.trace
                 .push(self.scheduler.now(), TraceEvent::WormRefused { worm, host });
         }
@@ -1571,6 +1643,7 @@ impl Network {
     pub(crate) fn notify_worm_received(&mut self, host: HostId, worm: WormId) {
         self.stats.worms_delivered += 1;
         if self.trace.enabled() {
+            let worm = self.worm_name(worm);
             self.trace
                 .push(self.scheduler.now(), TraceEvent::WormReceived { worm, host });
         }
@@ -1737,15 +1810,17 @@ impl Network {
         };
         let sinks = inst.sinks.max(1) as u64;
         self.worms.push(inst);
+        // Name the worm with its globally unique identity (`worm_names`):
+        // boundary bytes use it to name the worm in other shards, and the
+        // trace records it so sharded and sequential runs agree line for
+        // line. Allocation order follows the injecting host's own event
+        // order, which the canonical schedule makes identical to the
+        // sequential engine's.
+        let seq = &mut self.next_worm_seq[host.0 as usize];
+        let tag = ((host.0 as u64) << 40) | *seq;
+        *seq += 1;
+        *self.worm_names.get_mut(id) = tag;
         if let Some(s) = self.shard.as_mut() {
-            // Tag the worm with its globally unique identity so boundary
-            // bytes can name it in other shards. Allocation order follows
-            // the injecting host's own event order, which the canonical
-            // schedule makes identical to the sequential engine's.
-            let seq = &mut s.next_worm_seq[host.0 as usize];
-            let tag = ((host.0 as u64) << 40) | *seq;
-            *seq += 1;
-            *s.worm_tags.get_mut(id) = tag;
             s.tag_to_worm.insert(tag, id);
         }
         self.stats.worms_injected += 1;
@@ -1756,7 +1831,7 @@ impl Network {
         }
         if self.trace.enabled() {
             self.trace
-                .push(now, TraceEvent::WormInjected { worm: id, host });
+                .push(now, TraceEvent::WormInjected { worm: tag, host });
         }
         let a = &mut self.adapters[host.0 as usize];
         a.enqueue_tx(TxWorm::new(id, follow), spec.priority);

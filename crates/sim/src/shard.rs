@@ -45,6 +45,7 @@ use crate::network::{Delivery, MessageLog, MessageRecord, NetStats, Network, Run
 use crate::slab::PerWorm;
 use crate::switchcast::SwitchcastMode;
 use crate::time::SimTime;
+use crate::trace::Trace;
 use crate::worm::{ByteKind, WormId, WormInstance, WormMeta};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -164,14 +165,11 @@ pub(crate) struct ShardCtx {
     /// Bitmask of shards already sent a [`WormSnap`] for each local worm
     /// (bit = destination shard index; shard count is capped at 64).
     pub(crate) snap_sent: PerWorm<u64>,
-    /// Canonical worm tag → local dense [`WormId`].
+    /// Canonical worm name → local dense [`WormId`]. The names themselves
+    /// live in `Network::worm_names` (sequential runs assign them too, so
+    /// the trace names worms identically however the run is partitioned);
+    /// only this reverse index is shard-specific.
     pub(crate) tag_to_worm: HashMap<u64, WormId>,
-    /// Local [`WormId`] → canonical worm tag.
-    pub(crate) worm_tags: PerWorm<u64>,
-    /// Per-host injection counters backing tag allocation. A tag depends
-    /// only on the injecting host's own injection history, which the
-    /// canonical event order makes identical to the sequential engine's.
-    pub(crate) next_worm_seq: Vec<u64>,
 }
 
 /// A shard's published horizon clock, padded to its own cache line so the
@@ -202,10 +200,12 @@ impl ShardedNetwork {
     /// Wire `nets` (one identically-built [`Network`] per shard) together
     /// according to `switch_owner` (switch index → shard index; hosts
     /// follow their attach switch). Fails when the configuration cannot
-    /// be sharded soundly: switch-level multicast, fault injection or a
-    /// trace sink in use (those need the global event order), a
-    /// cross-shard link with zero latency (no lookahead), or more than
-    /// 64 shards.
+    /// be sharded soundly: switch-level multicast or fault injection in
+    /// use (those need the global event order), a cross-shard link with
+    /// zero latency (no lookahead), or more than 64 shards. Trace sinks
+    /// shard cleanly: every lifecycle event is recorded by exactly one
+    /// owning shard, and [`ShardedNetwork::trace`] merges the per-shard
+    /// logs into one canonically-sortable stream.
     pub fn new(nets: Vec<Network>, switch_owner: Vec<u32>) -> Result<ShardedNetwork, ConfigError> {
         let num = nets.len();
         if num == 0 {
@@ -247,11 +247,6 @@ impl ShardedNetwork {
         if n0.cfg.corrupt_prob != 0.0 {
             return Err(ConfigError::Unshardable {
                 feature: "fault injection",
-            });
-        }
-        if n0.trace.enabled() {
-            return Err(ConfigError::Unshardable {
-                feature: "the trace sink",
             });
         }
         for (i, n) in nets.iter().enumerate() {
@@ -334,7 +329,6 @@ impl ShardedNetwork {
             .collect();
 
         let mut nets = nets;
-        let num_hosts = nets[0].adapters.len();
         for (i, net) in nets.iter_mut().enumerate() {
             net.install_shard_ctx(ShardCtx {
                 me: i as u32,
@@ -343,8 +337,6 @@ impl ShardedNetwork {
                 outboxes: std::mem::take(&mut mailboxes[i]),
                 snap_sent: PerWorm::new(0),
                 tag_to_worm: HashMap::new(),
-                worm_tags: PerWorm::new(u64::MAX),
-                next_worm_seq: vec![0; num_hosts],
             });
         }
 
@@ -471,6 +463,24 @@ impl ShardedNetwork {
         created.sort_by_key(|r| (r.created, r.msg.0));
         deliveries.sort_by_key(|d| (d.at, d.msg.0, d.host.0));
         MessageLog { created, deliveries }
+    }
+
+    /// Merged trace: the concatenation of every shard's event log. Each
+    /// lifecycle event is recorded by exactly one shard (injection and
+    /// reception by the host's owner, route consumption by the switch's
+    /// owner, STOP/GO and blocked/resumed attribution by the channel's
+    /// transmit-side owner), so concatenation neither duplicates nor
+    /// drops anything, and [`Trace::to_jsonl`]'s canonical `(t, line)`
+    /// sort puts the merged stream in the same order a sequential run
+    /// produces. A [`crate::trace::TraceConfig::Ring`] capacity applies
+    /// *per shard* (each engine owns its own ring); `dropped` counts are
+    /// summed.
+    pub fn trace(&self) -> Trace {
+        let mut merged = Trace::new(self.nets[0].trace.config());
+        for n in &self.nets {
+            merged.absorb(&n.trace);
+        }
+        merged
     }
 
     /// Merged conservation audit. Per-shard conservation does not hold

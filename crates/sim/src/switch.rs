@@ -395,6 +395,7 @@ impl Network {
                         inp.state = InState::Requesting { worm, out };
                     }
                     if self.trace.enabled() {
+                        let worm = self.worm_name(worm);
                         self.trace.push(
                             self.scheduler.now(),
                             crate::trace::TraceEvent::RouteConsumed {
@@ -519,14 +520,14 @@ impl Network {
         sw: SwitchId,
         out: u8,
         in_port: u8,
-    ) -> Option<(WormId, crate::trace::BlockCause)> {
+    ) -> Option<(u64, crate::trace::BlockCause)> {
         match &self.switches[sw.0 as usize].inputs[in_port as usize].state {
             InState::Requesting { worm, .. } => Some((
-                *worm,
+                self.worm_name(*worm),
                 crate::trace::BlockCause::OutputBusy { switch: sw, out },
             )),
             InState::Replicating(rep) => Some((
-                rep.worm,
+                self.worm_name(rep.worm),
                 crate::trace::BlockCause::BranchWait { switch: sw, out },
             )),
             _ => None,
@@ -669,12 +670,16 @@ impl Network {
         // mode can emit a STOP while the run drains.
         let wire = match inp.chan_in {
             // Fed across a shard boundary: the local `in_flight` copy
-            // undercounts (per-byte crossings and expansion runs are not
-            // in it). But every pending arrival byte — span, expansion or
-            // per-byte — occupies a distinct send slot in `(now-delay,
-            // now]` at the paced foreign transmitter, so `delay` bounds
-            // them all; substitute that worst case.
-            Some(c) if self.chan_src_foreign(c) => self.lanes[c.0 as usize].delay(),
+            // only counts queued optimistic spans. Paced per-byte
+            // crossings occupy distinct send slots in `(now-delay, now]`
+            // at the foreign transmitter, so `delay` bounds them — but
+            // optimistic spans and rejected-run expansions claim send
+            // slots reaching into the transmitter's future and can each
+            // exceed `delay`; count those explicitly on top.
+            Some(c) if self.chan_src_foreign(c) => {
+                let l = &self.lanes[c.0 as usize];
+                l.delay() + l.foreign_span_backlog()
+            }
             Some(c) => self.lanes[c.0 as usize].in_flight() as u64,
             None => 0,
         };
@@ -705,7 +710,28 @@ impl Network {
         if inp.sent_stop {
             return None;
         }
-        let used = inp.occupancy() as u64 + wire;
+        // An optimistic span this input batch-drained toward a cut
+        // downstream lane is a gamble still in flight: the receive-side
+        // owner may yet refuse or STOP-truncate it, and the per-byte
+        // twin still holds its future-slot bytes right here — the local
+        // occupancy runs speculatively low by that unsent tail until
+        // the span's last send slot passes (or a STOP rewinds it).
+        // Charge it as used room: over-charging only shrinks spans
+        // (always exact), while reading the advanced occupancy would
+        // defer a STOP crossing the per-byte twin takes mid-window.
+        // Intra-shard drains need no charge — their emission guard
+        // certified the whole drain window crossing-free.
+        let advance = match inp.state {
+            InState::Forwarding { out, .. } => self.switches[sw.0 as usize].outputs
+                [out as usize]
+                .chan_out
+                .filter(|&c| self.chan_dst_foreign(c))
+                .map_or(0, |c| {
+                    self.lanes[c.0 as usize].drain_advance(self.scheduler.now())
+                }),
+            _ => 0,
+        };
+        let used = inp.occupancy() as u64 + wire + advance;
         let mark = inp.slack.stop_mark as u64;
         // Strictly below the mark even after all `wire + k` bytes land with
         // no dequeue: occupancy can never cross it in either mode.

@@ -974,6 +974,7 @@ impl Network {
         self.stats.active_worms -= 1;
         if self.trace.enabled() {
             let at = self.scheduler.now();
+            let worm = self.worm_name(worm);
             self.trace
                 .push(at, crate::trace::TraceEvent::WormFlushed { worm, host: injector });
         }

@@ -11,19 +11,25 @@
 //!
 //! # Determinism guarantee
 //!
-//! The trace is a pure function of seed and configuration, identical under
-//! [`crate::network::SimMode::PerByte`] and
-//! [`crate::network::SimMode::SpanBatched`]. Span batching preserves every
-//! worm-visible observable, but STOP-watermark crossings depend on
-//! arrival-versus-dequeue ordering *within* a byte-time, which batching
-//! legitimately permutes — so an attached trace sink disables the span
-//! fast path (exactly as switchcast replication does) and both modes step
-//! the per-byte reference engine. Events therefore occur at per-byte-exact
-//! times; only the processing order within one timestamp is incidental,
-//! and [`Trace::to_jsonl`] sorts lines by `(time, line)` so the rendered
-//! JSONL is byte-identical across modes (enforced by
-//! `tests/span_equivalence.rs`). Tracing costs the span speed-up while a
-//! sink is attached; with [`TraceConfig::Off`] the fast path is unchanged.
+//! The thirteen *lifecycle* events above are a pure function of seed and
+//! configuration, identical under [`crate::network::SimMode::PerByte`] and
+//! [`crate::network::SimMode::SpanBatched`]: spans carry only body (Data)
+//! bytes of a single worm, so route parsing, admission, completion and
+//! delivery stay per-byte-exact, and the span emission guards
+//! (`switch_span_ready` / `switch_span_room`) keep slack occupancy
+//! strictly below the STOP watermark with no GO owed for the whole drain
+//! window, so the STOP/GO timeline cannot differ either. Under
+//! `SpanBatched` the trace *additionally* records span-level engine
+//! events ([`TraceEvent::SpanEmitted`] and friends) interleaved with the
+//! lifecycle stream. Because the canonical per-byte schema contains no
+//! per-data-byte events, expansion back to the canonical JSONL is pure
+//! erasure: `wormcast_bench::trace_io::expand_spans` drops the
+//! `span-*` lines and what remains is byte-identical to the per-byte
+//! trace (enforced by `tests/span_equivalence.rs` and the sharded
+//! differential harness). Events occur at per-byte-exact times; only the
+//! processing order within one timestamp is incidental, and
+//! [`Trace::to_jsonl`] sorts lines by `(time, line)` so the rendered
+//! JSONL is reproducible.
 //!
 //! # Cost when disabled
 //!
@@ -34,7 +40,7 @@
 use crate::engine::{HostId, SwitchId};
 use crate::link::ChanId;
 use crate::time::SimTime;
-use crate::worm::{MessageId, WormId};
+use crate::worm::MessageId;
 use serde::{Deserialize, Serialize};
 
 /// Trace sink selection.
@@ -64,30 +70,37 @@ pub enum BlockCause {
 }
 
 /// One recorded event.
+///
+/// The `worm` field of worm-scoped events is the worm's *canonical name*
+/// `(injecting host << 40) | per-host sequence`, not its dense
+/// [`crate::worm::WormId`] arena index: dense ids are per-engine (each
+/// shard of a sharded run allocates its own), while the canonical name
+/// depends only on the injecting host's own history, so the rendered
+/// trace is identical however the run is partitioned.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A worm entered a transmit queue at `host`.
-    WormInjected { worm: WormId, host: HostId },
+    WormInjected { worm: u64, host: HostId },
     /// A switch consumed the worm's head route byte and selected `out`.
-    RouteConsumed { worm: WormId, switch: SwitchId, out: u8 },
+    RouteConsumed { worm: u64, switch: SwitchId, out: u8 },
     /// The worm stopped making progress; see [`BlockCause`].
-    WormBlocked { worm: WormId, cause: BlockCause },
+    WormBlocked { worm: u64, cause: BlockCause },
     /// The matching resumption (GO received, or the output was granted).
-    WormResumed { worm: WormId, cause: BlockCause },
+    WormResumed { worm: u64, cause: BlockCause },
     /// A worm was fully received (checksum good) at `host`.
-    WormReceived { worm: WormId, host: HostId },
+    WormReceived { worm: u64, host: HostId },
     /// A worm was refused admission (dropped) at `host`.
-    WormRefused { worm: WormId, host: HostId },
+    WormRefused { worm: u64, host: HostId },
     /// A worm failed its checksum at `host` and was discarded.
-    WormCorrupt { worm: WormId, host: HostId },
+    WormCorrupt { worm: u64, host: HostId },
     /// A worm was evicted by a Backward Reset flush (V3); `host` is the
     /// injector that will be told to retransmit.
-    WormFlushed { worm: WormId, host: HostId },
+    WormFlushed { worm: u64, host: HostId },
     /// A fragment boundary parked a partial reception at `host` with
     /// `body_got` body bytes reassembled so far (V2 interrupt/resume).
-    FragmentParked { worm: WormId, host: HostId, body_got: u64 },
+    FragmentParked { worm: u64, host: HostId, body_got: u64 },
     /// A parked reception resumed reassembly at `host`.
-    FragmentResumed { worm: WormId, host: HostId, body_got: u64 },
+    FragmentResumed { worm: u64, host: HostId, body_got: u64 },
     /// The protocol delivered `msg` to the local host.
     Delivered { msg: MessageId, host: HostId },
     /// A STOP took effect on the transmit side of `ch` (lane `lane` of
@@ -95,6 +108,27 @@ pub enum TraceEvent {
     StopInForce { ch: ChanId, lane: u8 },
     /// A GO released the transmit side of `ch`.
     GoReceived { ch: ChanId, lane: u8 },
+    /// Span-batched engine only: `len` body bytes of `worm` left the
+    /// transmit side of `ch` as one batched span. Erased by the
+    /// per-byte expander.
+    SpanEmitted { worm: u64, ch: ChanId, lane: u8, len: u64 },
+    /// Span-batched engine only: a STOP (or a receive-side watermark on a
+    /// cut link) cut `revoked` not-yet-wire-committed bytes off the
+    /// newest in-flight span on `ch`. Erased by the per-byte expander.
+    SpanTruncated { worm: u64, ch: ChanId, lane: u8, revoked: u64 },
+    /// Span-batched engine only: `len` body bytes of `worm` were admitted
+    /// in one batch at the receive side of `ch`. Erased by the per-byte
+    /// expander.
+    SpanDelivered { worm: u64, ch: ChanId, lane: u8, len: u64 },
+    /// Span-batched engine only: a `SpanNack` control symbol arrived on
+    /// the transmit side of `ch` (receive shard of a cut link rejected an
+    /// optimistic span), standing sender optimism down. Erased by the
+    /// per-byte expander.
+    SpanNack { ch: ChanId, lane: u8 },
+    /// Span-batched engine only: a `SpanCredit` control symbol arrived on
+    /// the transmit side of `ch`, restoring sender optimism. Erased by
+    /// the per-byte expander.
+    SpanCredit { ch: ChanId, lane: u8 },
 }
 
 impl TraceEvent {
@@ -178,6 +212,16 @@ impl Trace {
         &self.events
     }
 
+    /// Append another recorder's log verbatim (sharded-run merging):
+    /// events concatenate — `to_jsonl`'s canonical sort orders them —
+    /// and ring-drop counts sum. Ring capacity is deliberately NOT
+    /// re-applied here; a ring budget is per engine, so a merged
+    /// sharded trace may hold up to `shards × capacity` events.
+    pub(crate) fn absorb(&mut self, other: &Trace) {
+        self.events.extend_from_slice(&other.events);
+        self.dropped += other.dropped;
+    }
+
     pub fn len(&self) -> usize {
         self.events.len()
     }
@@ -210,72 +254,93 @@ impl Trace {
     /// Lines are sorted stably by `(time, line content)`: emission order
     /// within one timestamp is the only thing that may differ between
     /// [`crate::network::SimMode`]s, so the sorted output is byte-identical
-    /// for identical seed and configuration in both modes.
+    /// for identical seed and configuration in both modes. Thin wrapper
+    /// over [`Trace::write_jsonl`].
     pub fn to_jsonl(&self) -> String {
-        let mut lines: Vec<(SimTime, String)> = self
-            .events
-            .iter()
-            .map(|(t, e)| (*t, jsonl_line(*t, e)))
-            .collect();
-        lines.sort();
-        let mut out = String::with_capacity(lines.iter().map(|(_, l)| l.len() + 1).sum());
-        for (_, line) in lines {
-            out.push_str(&line);
-            out.push('\n');
+        let mut out = Vec::new();
+        self.write_jsonl(&mut out)
+            .expect("writing to a Vec<u8> cannot fail");
+        String::from_utf8(out).expect("JSONL lines are ASCII")
+    }
+
+    /// Stream the sorted JSONL straight to `w`, rendering every event into
+    /// one shared arena (a single allocation amortized over the whole
+    /// trace) instead of one `String` per event. Same output as
+    /// [`Trace::to_jsonl`].
+    pub fn write_jsonl<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let mut arena = String::with_capacity(self.events.len() * 48);
+        let mut index: Vec<(SimTime, usize, usize)> = Vec::with_capacity(self.events.len());
+        for (t, e) in &self.events {
+            let start = arena.len();
+            render_line(&mut arena, *t, e);
+            index.push((*t, start, arena.len()));
         }
-        out
+        index.sort_by(|a, b| (a.0, &arena[a.1..a.2]).cmp(&(b.0, &arena[b.1..b.2])));
+        for (_, start, end) in index {
+            w.write_all(&arena.as_bytes()[start..end])?;
+            w.write_all(b"\n")?;
+        }
+        Ok(())
     }
 }
 
-/// Format one event as a JSONL line. Field order is fixed (`t`, `ev`,
-/// then event-specific fields) so the output is reproducible.
+/// Format one event as a JSONL line. Thin wrapper over [`render_line`].
 pub fn jsonl_line(t: SimTime, ev: &TraceEvent) -> String {
-    use std::fmt::Write;
     let mut s = String::with_capacity(64);
+    render_line(&mut s, t, ev);
+    s
+}
+
+/// Append one event as a JSONL line onto `s` (no trailing newline). Field
+/// order is fixed (`t`, `ev`, then event-specific fields) so the output is
+/// reproducible; appending into a caller-owned buffer lets serialization
+/// reuse one allocation across events.
+pub fn render_line(s: &mut String, t: SimTime, ev: &TraceEvent) {
+    use std::fmt::Write;
     let _ = write!(s, "{{\"t\":{t},\"ev\":");
     match ev {
         TraceEvent::WormInjected { worm, host } => {
-            let _ = write!(s, "\"worm-injected\",\"worm\":{},\"host\":{}", worm.0, host.0);
+            let _ = write!(s, "\"worm-injected\",\"worm\":{},\"host\":{}", worm, host.0);
         }
         TraceEvent::RouteConsumed { worm, switch, out } => {
             let _ = write!(
                 s,
                 "\"route-consumed\",\"worm\":{},\"switch\":{},\"out\":{}",
-                worm.0, switch.0, out
+                worm, switch.0, out
             );
         }
         TraceEvent::WormBlocked { worm, cause } => {
-            let _ = write!(s, "\"blocked\",\"worm\":{},", worm.0);
-            write_cause(&mut s, cause);
+            let _ = write!(s, "\"blocked\",\"worm\":{},", worm);
+            write_cause(s, cause);
         }
         TraceEvent::WormResumed { worm, cause } => {
-            let _ = write!(s, "\"resumed\",\"worm\":{},", worm.0);
-            write_cause(&mut s, cause);
+            let _ = write!(s, "\"resumed\",\"worm\":{},", worm);
+            write_cause(s, cause);
         }
         TraceEvent::WormReceived { worm, host } => {
-            let _ = write!(s, "\"worm-received\",\"worm\":{},\"host\":{}", worm.0, host.0);
+            let _ = write!(s, "\"worm-received\",\"worm\":{},\"host\":{}", worm, host.0);
         }
         TraceEvent::WormRefused { worm, host } => {
-            let _ = write!(s, "\"worm-refused\",\"worm\":{},\"host\":{}", worm.0, host.0);
+            let _ = write!(s, "\"worm-refused\",\"worm\":{},\"host\":{}", worm, host.0);
         }
         TraceEvent::WormCorrupt { worm, host } => {
-            let _ = write!(s, "\"worm-corrupt\",\"worm\":{},\"host\":{}", worm.0, host.0);
+            let _ = write!(s, "\"worm-corrupt\",\"worm\":{},\"host\":{}", worm, host.0);
         }
         TraceEvent::WormFlushed { worm, host } => {
-            let _ = write!(s, "\"worm-flushed\",\"worm\":{},\"host\":{}", worm.0, host.0);
+            let _ = write!(s, "\"worm-flushed\",\"worm\":{},\"host\":{}", worm, host.0);
         }
         TraceEvent::FragmentParked { worm, host, body_got } => {
             let _ = write!(
                 s,
                 "\"fragment-parked\",\"worm\":{},\"host\":{},\"body_got\":{}",
-                worm.0, host.0, body_got
+                worm, host.0, body_got
             );
         }
         TraceEvent::FragmentResumed { worm, host, body_got } => {
             let _ = write!(
                 s,
                 "\"fragment-resumed\",\"worm\":{},\"host\":{},\"body_got\":{}",
-                worm.0, host.0, body_got
+                worm, host.0, body_got
             );
         }
         TraceEvent::Delivered { msg, host } => {
@@ -287,9 +352,35 @@ pub fn jsonl_line(t: SimTime, ev: &TraceEvent) -> String {
         TraceEvent::GoReceived { ch, lane } => {
             let _ = write!(s, "\"go\",\"ch\":{},\"lane\":{}", ch.0, lane);
         }
+        TraceEvent::SpanEmitted { worm, ch, lane, len } => {
+            let _ = write!(
+                s,
+                "\"span-emitted\",\"worm\":{},\"ch\":{},\"lane\":{},\"len\":{}",
+                worm, ch.0, lane, len
+            );
+        }
+        TraceEvent::SpanTruncated { worm, ch, lane, revoked } => {
+            let _ = write!(
+                s,
+                "\"span-truncated\",\"worm\":{},\"ch\":{},\"lane\":{},\"revoked\":{}",
+                worm, ch.0, lane, revoked
+            );
+        }
+        TraceEvent::SpanDelivered { worm, ch, lane, len } => {
+            let _ = write!(
+                s,
+                "\"span-delivered\",\"worm\":{},\"ch\":{},\"lane\":{},\"len\":{}",
+                worm, ch.0, lane, len
+            );
+        }
+        TraceEvent::SpanNack { ch, lane } => {
+            let _ = write!(s, "\"span-nack\",\"ch\":{},\"lane\":{}", ch.0, lane);
+        }
+        TraceEvent::SpanCredit { ch, lane } => {
+            let _ = write!(s, "\"span-credit\",\"ch\":{},\"lane\":{}", ch.0, lane);
+        }
     }
     s.push('}');
-    s
 }
 
 fn write_cause(s: &mut String, cause: &BlockCause) {
@@ -343,7 +434,7 @@ mod tests {
         let mut t = Trace::default();
         t.push(1, TraceEvent::StopInForce { ch: ChanId(0), lane: 0 });
         t.push(2, TraceEvent::WormInjected {
-            worm: WormId(0),
+            worm: 0,
             host: HostId(3),
         });
         assert_eq!(t.for_host(HostId(3)).count(), 1);
@@ -364,7 +455,7 @@ mod tests {
         let mut t = Trace::new(TraceConfig::Ring { capacity: 2 });
         for i in 0..5u32 {
             t.push(i as SimTime, TraceEvent::WormInjected {
-                worm: WormId(i),
+                worm: u64::from(i),
                 host: HostId(0),
             });
         }
@@ -393,7 +484,7 @@ mod tests {
     #[test]
     fn jsonl_line_shapes() {
         let line = jsonl_line(3, &TraceEvent::WormBlocked {
-            worm: WormId(4),
+            worm: 4,
             cause: BlockCause::OutputBusy {
                 switch: SwitchId(2),
                 out: 5,
@@ -404,12 +495,72 @@ mod tests {
             "{\"t\":3,\"ev\":\"blocked\",\"worm\":4,\"cause\":\"output-busy\",\"switch\":2,\"out\":5}"
         );
         let line = jsonl_line(9, &TraceEvent::WormResumed {
-            worm: WormId(4),
+            worm: 4,
             cause: BlockCause::StopBackpressure { ch: ChanId(1) },
         });
         assert_eq!(
             line,
             "{\"t\":9,\"ev\":\"resumed\",\"worm\":4,\"cause\":\"stop\",\"ch\":1}"
         );
+    }
+
+    #[test]
+    fn span_line_shapes() {
+        assert_eq!(
+            jsonl_line(5, &TraceEvent::SpanEmitted {
+                worm: 7,
+                ch: ChanId(3),
+                lane: 1,
+                len: 40,
+            }),
+            "{\"t\":5,\"ev\":\"span-emitted\",\"worm\":7,\"ch\":3,\"lane\":1,\"len\":40}"
+        );
+        assert_eq!(
+            jsonl_line(6, &TraceEvent::SpanTruncated {
+                worm: 7,
+                ch: ChanId(3),
+                lane: 0,
+                revoked: 12,
+            }),
+            "{\"t\":6,\"ev\":\"span-truncated\",\"worm\":7,\"ch\":3,\"lane\":0,\"revoked\":12}"
+        );
+        assert_eq!(
+            jsonl_line(8, &TraceEvent::SpanDelivered {
+                worm: 7,
+                ch: ChanId(3),
+                lane: 0,
+                len: 28,
+            }),
+            "{\"t\":8,\"ev\":\"span-delivered\",\"worm\":7,\"ch\":3,\"lane\":0,\"len\":28}"
+        );
+        assert_eq!(
+            jsonl_line(9, &TraceEvent::SpanNack { ch: ChanId(2), lane: 0 }),
+            "{\"t\":9,\"ev\":\"span-nack\",\"ch\":2,\"lane\":0}"
+        );
+        assert_eq!(
+            jsonl_line(9, &TraceEvent::SpanCredit { ch: ChanId(2), lane: 1 }),
+            "{\"t\":9,\"ev\":\"span-credit\",\"ch\":2,\"lane\":1}"
+        );
+    }
+
+    #[test]
+    fn write_jsonl_matches_to_jsonl() {
+        let mut t = Trace::default();
+        t.push(7, TraceEvent::StopInForce { ch: ChanId(9), lane: 0 });
+        t.push(3, TraceEvent::WormInjected {
+            worm: 1,
+            host: HostId(0),
+        });
+        t.push(7, TraceEvent::GoReceived { ch: ChanId(1), lane: 0 });
+        t.push(7, TraceEvent::SpanEmitted {
+            worm: 1,
+            ch: ChanId(9),
+            lane: 0,
+            len: 16,
+        });
+        let mut streamed = Vec::new();
+        t.write_jsonl(&mut streamed).unwrap();
+        assert_eq!(String::from_utf8(streamed).unwrap(), t.to_jsonl());
+        assert_eq!(t.to_jsonl().lines().count(), 4);
     }
 }

@@ -134,10 +134,10 @@ fn deliveries(net: &Network) -> Vec<(u64, u32, u64)> {
 #[test]
 fn stop_mid_span_truncates_to_the_exact_byte() {
     for delay in [1u64, 3, 8] {
-        // The span net runs untraced so the fast path is actually live (an
-        // attached sink makes it stand down — DESIGN.md §3.2); the per-byte
-        // net carries the sink, which is a pure observer there, to prove
-        // the scenario raises STOPs at all.
+        // The per-byte net carries a sink (a pure observer) to prove the
+        // scenario raises STOPs at all; the span net runs untraced only
+        // because this lockstep check never reads its trace — tracing no
+        // longer stands the fast path down (DESIGN.md §3.2).
         let mut per_byte = contention_net(delay, SimMode::PerByte, 2_000, TraceConfig::Memory);
         let mut spans = contention_net(delay, SimMode::SpanBatched, 2_000, TraceConfig::Off);
         let mut t = 0;

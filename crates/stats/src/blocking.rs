@@ -11,7 +11,6 @@
 use crate::histogram::LogHistogram;
 use std::collections::HashMap;
 use wormcast_sim::trace::{BlockCause, Trace, TraceEvent};
-use wormcast_sim::worm::WormId;
 
 /// Blocked-interval distributions, one histogram per block cause.
 #[derive(Clone, Debug, Default)]
@@ -51,7 +50,7 @@ impl BlockedTimes {
 /// worm's tail already cleared the channel) are ignored.
 pub fn blocked_times(trace: &Trace) -> BlockedTimes {
     let mut out = BlockedTimes::default();
-    let mut open: HashMap<(WormId, BlockCause), Vec<u64>> = HashMap::new();
+    let mut open: HashMap<(u64, BlockCause), Vec<u64>> = HashMap::new();
     for (t, ev) in trace.events() {
         match ev {
             TraceEvent::WormBlocked { worm, cause } => {
@@ -80,7 +79,7 @@ mod tests {
     #[test]
     fn pairs_by_worm_and_cause() {
         let mut tr = Trace::default();
-        let w = WormId(1);
+        let w = 1u64;
         let stop = BlockCause::StopBackpressure { ch: ChanId(3) };
         let busy = BlockCause::OutputBusy {
             switch: SwitchId(0),
@@ -104,7 +103,7 @@ mod tests {
     fn unmatched_block_is_unresolved() {
         let mut tr = Trace::default();
         tr.push(7, TraceEvent::WormBlocked {
-            worm: WormId(0),
+            worm: 0,
             cause: BlockCause::BranchWait {
                 switch: SwitchId(1),
                 out: 0,
@@ -119,7 +118,7 @@ mod tests {
     fn unmatched_resume_is_ignored() {
         let mut tr = Trace::default();
         tr.push(9, TraceEvent::WormResumed {
-            worm: WormId(0),
+            worm: 0,
             cause: BlockCause::StopBackpressure { ch: ChanId(0) },
         });
         let bt = blocked_times(&tr);

@@ -57,7 +57,7 @@ fn main() {
     for (t, ev) in net.trace.events() {
         match ev {
             TraceEvent::WormInjected { worm, host } => {
-                let w = &net.worms[worm.0 as usize];
+                let w = net.worm_by_name(*worm).expect("traced worm exists");
                 println!(
                     "  t={t:>6}  host {} -> host {}: worm injected ({} bytes on the wire)",
                     host.0,
@@ -66,7 +66,7 @@ fn main() {
                 );
             }
             TraceEvent::WormReceived { worm, host } => {
-                let w = &net.worms[worm.0 as usize];
+                let w = net.worm_by_name(*worm).expect("traced worm exists");
                 println!(
                     "  t={t:>6}  host {}: worm from host {} fully received",
                     host.0, w.meta.injector.0

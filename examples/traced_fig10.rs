@@ -1,20 +1,23 @@
-//! One traced low-load Figure 10 point, end to end: run the tree scheme on
-//! the 8×8 torus with the in-memory trace sink, write the worm-lifecycle
-//! trace as JSON Lines, validate it against the event schema (DESIGN.md
-//! §3.2), and print the observability summary — blocked-time histograms
-//! by cause.
+//! One traced low-load Figure 10 point, end to end — on the span fast
+//! path: run the tree scheme on the 8×8 torus span-batched with the
+//! in-memory trace sink, expand the span-level stream into the canonical
+//! per-byte JSON Lines (DESIGN.md §3.2), validate it against the event
+//! schema, diff it against a per-byte reference run, and print the
+//! observability summary — blocked-time histograms by cause.
 //!
 //! CI runs this as a smoke job:
 //!
 //!     cargo run --release --example traced_fig10
 //!
-//! Exits non-zero if the run misbehaves or the JSONL fails validation.
+//! Exits non-zero if the run misbehaves, the JSONL fails validation, or
+//! the expanded span trace is not byte-identical to the per-byte engine's.
 
+use wormcast::sim::network::SimMode;
 use wormcast::sim::trace::TraceConfig;
 use wormcast::stats::blocked_times;
 use wormcast_bench::fig10::{figure_tree_scheme, setup, Fig10Config};
 use wormcast_bench::runner::{run_traced, SimSetup};
-use wormcast_bench::trace_io::{validate_jsonl, write_jsonl};
+use wormcast_bench::trace_io::{expand_spans, validate_jsonl};
 
 fn main() {
     let cfg = Fig10Config {
@@ -26,30 +29,48 @@ fn main() {
     };
     let mut point: SimSetup = setup(figure_tree_scheme(), 0.04, &cfg);
     point.trace = TraceConfig::Memory;
+    point.mode = SimMode::SpanBatched;
 
     let (report, trace) = run_traced(&point);
     println!(
-        "fig10 point: load 0.04, tree scheme — {} multicast deliveries, \
+        "fig10 point: load 0.04, tree scheme, span-batched — {} multicast deliveries, \
          mean latency {:.0} byte-times, delivery ratio {:.3}",
         report.multicast.deliveries, report.multicast.per_delivery.mean, report.delivery_ratio
     );
     println!(
-        "outcome: end t={} drained={} | {} trace events captured",
+        "outcome: end t={} drained={} | {} trace events captured ({} dropped)",
         report.outcome.end_time,
         report.outcome.drained,
-        trace.len()
+        trace.len(),
+        report.trace_dropped
     );
     assert!(report.outcome.drained, "low-load point must drain");
     assert!(report.outcome.deadlock.is_none(), "must not deadlock");
     assert!(report.delivery_ratio > 0.95, "light load must deliver");
     assert!(!trace.is_empty(), "trace must capture the run");
+    assert_eq!(report.trace_dropped, 0, "memory sink must not drop events");
 
-    // Write and validate the JSONL.
+    // Expand the span-level stream into the canonical per-byte JSONL and
+    // pin it against a per-byte reference run of the same point.
+    let span_jsonl = trace.to_jsonl();
+    let expanded = expand_spans(&span_jsonl);
+    let mut reference = point;
+    reference.mode = SimMode::PerByte;
+    let (_, ref_trace) = run_traced(&reference);
+    assert!(
+        expanded == ref_trace.to_jsonl(),
+        "expanded span trace diverged from the per-byte reference"
+    );
+    println!(
+        "span trace: {} lines expand to the per-byte reference byte-for-byte",
+        span_jsonl.lines().count()
+    );
+
+    // Write and validate the canonical per-byte JSONL.
     let path = std::path::Path::new("results/traced_fig10.jsonl");
     std::fs::create_dir_all("results").expect("create results dir");
-    write_jsonl(&trace, path).expect("write JSONL");
-    let jsonl = std::fs::read_to_string(path).expect("read back JSONL");
-    let violations = validate_jsonl(&jsonl);
+    std::fs::write(path, &expanded).expect("write JSONL");
+    let violations = validate_jsonl(&expanded);
     if !violations.is_empty() {
         for v in violations.iter().take(20) {
             eprintln!("schema violation: {v}");
@@ -59,10 +80,11 @@ fn main() {
     println!(
         "wrote {} ({} lines, schema-valid)",
         path.display(),
-        jsonl.lines().count()
+        expanded.lines().count()
     );
 
-    // Blocked-time histograms by cause.
+    // Blocked-time histograms by cause (span-* engine events are
+    // transparent to the lifecycle consumers).
     let bt = blocked_times(&trace);
     println!("\nblocked intervals (byte-times):");
     println!(

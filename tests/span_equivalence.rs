@@ -8,8 +8,10 @@
 //! modes over the paper's three fabric families (8×8 torus, 24-node
 //! shufflenet, the Myrinet testbed line) and over random irregular
 //! topologies, then compare everything — including the rendered JSONL
-//! lifecycle trace, which the trace subsystem guarantees is byte-identical
-//! across engine modes (DESIGN.md §3.2).
+//! lifecycle trace: a traced span-batched run keeps the fast path live
+//! and records extra `span-*` engine events, and erasing those
+//! ([`wormcast_bench::trace_io::expand_spans`]) must reproduce the
+//! per-byte trace byte-for-byte (DESIGN.md §3.2).
 
 use proptest::prelude::*;
 use wormcast::sim::network::{NetStats, SimMode};
@@ -20,6 +22,7 @@ use wormcast::topo::torus::torus;
 use wormcast::topo::{TopoBuilder, Topology};
 use wormcast_bench::fig10::figure_tree_scheme;
 use wormcast_bench::runner::{build_network, SimSetup};
+use wormcast_bench::trace_io::{expand_spans, validate_jsonl};
 use wormcast_bench::Scheme;
 use wormcast_core::HcConfig;
 use wormcast_traffic::rng::host_stream;
@@ -68,13 +71,13 @@ fn assert_stats_eq(mut a: NetStats, mut b: NetStats, label: &str, what: &str) {
 }
 
 /// Run `setup` under both modes, traced and untraced, and require
-/// bit-identical observables. With a sink attached the span fast path
-/// stands down (byte-level interleaving is observable), so the rendered
-/// JSONL must match byte-for-byte; without one the fast path is live and
-/// the worm-visible observables must still match. Tracing itself must be
-/// a pure observer: the traced and untraced runs must agree too. Returns
-/// the per-byte and span-batched scheduled-event counts of the untraced
-/// pair for callers that assert on cost.
+/// bit-identical observables. The span fast path stays live with a sink
+/// attached: the span-batched trace carries extra `span-*` engine events,
+/// and erasing them with the per-byte expander must reproduce the
+/// per-byte JSONL byte-for-byte. Tracing itself must be a pure observer:
+/// the traced and untraced runs must agree too. Returns the per-byte and
+/// span-batched scheduled-event counts of the untraced pair for callers
+/// that assert on cost.
 fn assert_equivalent(mk: impl Fn() -> SimSetup, label: &str) -> (u64, u64) {
     let (d_ref, s_ref, j_ref) = observe(mk(), SimMode::PerByte, TraceConfig::Memory);
     let (d_span, s_span, j_span) = observe(mk(), SimMode::SpanBatched, TraceConfig::Memory);
@@ -82,12 +85,24 @@ fn assert_equivalent(mk: impl Fn() -> SimSetup, label: &str) -> (u64, u64) {
         d_ref, d_span,
         "{label}: traced delivery records diverged between engine modes"
     );
+    let expanded = expand_spans(&j_span);
     assert!(
-        j_ref == j_span,
-        "{label}: JSONL traces diverged between engine modes\n{}",
-        first_diff(&j_ref, &j_span)
+        j_ref == expanded,
+        "{label}: expanded span trace diverged from the per-byte trace\n{}",
+        first_diff(&j_ref, &expanded)
     );
     assert!(!j_ref.is_empty(), "{label}: trace captured nothing");
+    let violations = validate_jsonl(&j_span);
+    assert!(
+        violations.is_empty(),
+        "{label}: span-level trace violates the schema: {violations:?}"
+    );
+    // The fast path must actually be live on traced span-batched runs —
+    // that's the whole point of span-native tracing.
+    assert!(
+        s_span.events_scheduled <= s_ref.events_scheduled,
+        "{label}: traced span-batched run scheduled more events than per-byte"
+    );
     assert_stats_eq(s_ref, s_span, label, "traced");
 
     let (d_off_ref, s_off_ref, _) = observe(mk(), SimMode::PerByte, TraceConfig::Off);
@@ -151,7 +166,35 @@ fn torus_modes_agree_and_spans_win() {
             e_span * 3 < e_ref,
             "span batching too weak on the torus: {e_ref} -> {e_span}"
         );
+        // Span-native tracing: the traced span-batched run must have kept
+        // the fast path live (recorded span-level engine events).
+        let (_, _, j_span) = observe(mk(), SimMode::SpanBatched, TraceConfig::Memory);
+        assert!(
+            j_span.contains("\"ev\":\"span-emitted\""),
+            "traced span-batched torus run emitted no spans — fast path stood down"
+        );
     }
+}
+
+#[test]
+fn torus_lanes2_traced_modes_agree() {
+    // Two-lane links: span-level events carry the lane field, and the
+    // expanded trace must still match per-byte byte-for-byte.
+    let mk = || {
+        let mut grng = host_stream(0x5EED7, 0x6071);
+        let groups = GroupSet::random(64, 10, 10, &mut grng);
+        let mut s = setup_on(
+            torus(8, 1),
+            groups,
+            Scheme::Hc(HcConfig::store_and_forward()),
+            0.06,
+            0x5EED7,
+        )
+        .windows(5_000, 25_000, 15_000);
+        s.lanes = 2;
+        s
+    };
+    assert_equivalent(mk, "torus8-lanes2");
 }
 
 #[test]

@@ -229,12 +229,12 @@ fn v2_fragmentation_traces_park_and_resume() {
     // Park/resume pairs carry monotonically growing reassembly progress
     // per (worm, host).
     use std::collections::HashMap;
-    let mut progress: HashMap<(u32, u32), u64> = HashMap::new();
+    let mut progress: HashMap<(u64, u32), u64> = HashMap::new();
     for (_, ev) in net.trace.events() {
         if let TraceEvent::FragmentParked { worm, host, body_got }
         | TraceEvent::FragmentResumed { worm, host, body_got } = ev
         {
-            let p = progress.entry((worm.0, host.0)).or_insert(0);
+            let p = progress.entry((*worm, host.0)).or_insert(0);
             assert!(
                 *body_got >= *p,
                 "reassembly progress went backwards for worm {worm:?} at host {host:?}"
